@@ -1,0 +1,127 @@
+// Command experiments regenerates the paper's tables and figures from
+// the synthetic deployment.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig3,fig4 -numas 5000 -seed 7
+//	experiments -run fig9 -days 5
+//
+// Each experiment prints the rows or series of the corresponding paper
+// figure; EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vns/internal/experiments"
+	"vns/internal/media"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiments: fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,table1,fig12,congruence,repair,mediaclaims,qoe,capacity,econ,ablations or all")
+	seed := flag.Uint64("seed", 0, "random seed (0 = default)")
+	numAS := flag.Int("numas", 0, "synthetic Internet size in ASes (0 = default 3000)")
+	days := flag.Int("days", 0, "measurement days for fig9/fig10/fig11/fig12/table1 (0 = defaults)")
+	requests := flag.Int("requests", 0, "anycast requests for fig7 (0 = 60000)")
+	plot := flag.Bool("plot", false, "append ASCII plots to figures that have them")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	need := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building environment (seed=%d, ASes=%d)...\n", *seed, *numAS)
+	env := experiments.NewEnv(experiments.Config{Seed: *seed, NumAS: *numAS})
+	fmt.Fprintf(os.Stderr, "environment ready in %v: %d ASes, %d prefixes, %d sessions\n",
+		time.Since(start).Round(time.Millisecond), len(env.Topo.ASNs()), len(env.Topo.Prefixes),
+		len(env.Peering.Sessions()))
+
+	section := func(name string, f func() string) {
+		if !need(name) {
+			return
+		}
+		t0 := time.Now()
+		out := f()
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	section("fig3", func() string {
+		r := experiments.Fig3GeoPrecision(env)
+		out := r.Render()
+		if *plot {
+			out += "\n" + r.RenderPlot()
+		}
+		return out
+	})
+	section("fig4", func() string { return experiments.Fig4EgressSelection(env).Render() })
+	section("fig5", func() string { return experiments.Fig5NeighborSelection(env).Render() })
+	section("fig6", func() string {
+		r := experiments.Fig6DelayDifference(env)
+		out := r.Render()
+		if *plot {
+			out += "\n" + r.RenderPlot()
+		}
+		return out
+	})
+	section("fig7", func() string { return experiments.Fig7IncomingTraffic(env, *requests).Render() })
+
+	var fig9 *experiments.Fig9Result
+	if need("fig9", "fig10") {
+		fig9 = experiments.Fig9VideoLoss(env, experiments.Fig9Config{Days: *days, Definition: media.Def1080p})
+	}
+	section("fig9", func() string { return fig9.Render() })
+	section("fig10", func() string {
+		r := experiments.Fig10LossNature(fig9)
+		out := r.Render()
+		if *plot {
+			out += "\n" + r.RenderPlot()
+		}
+		return out
+	})
+
+	var lastMile *experiments.LastMileResult
+	if need("fig11", "table1", "fig12") {
+		lastMile = experiments.LastMileStudy(env, experiments.LastMileConfig{Days: *days})
+	}
+	section("fig11", func() string { return lastMile.RenderFig11() })
+	section("table1", func() string { return lastMile.RenderTable1() })
+	section("fig12", func() string { return lastMile.RenderFig12() })
+
+	section("congruence", func() string { return experiments.CongruenceStudy(env).Render() })
+	section("repair", func() string { return experiments.RepairStudy(env, 30).Render() })
+	section("mediaclaims", func() string { return experiments.MediaClaims(env, 100).Render() })
+	section("qoe", func() string { return experiments.QoEStudy(env, 8).Render() })
+	section("capacity", func() string { return experiments.CapacityStudy(env, 0, 0).Render() })
+	section("econ", func() string {
+		return experiments.EconStudy(env, true, nil).Render() + "\n" +
+			experiments.EconStudy(env, false, nil).Render()
+	})
+
+	section("ablations", func() string {
+		return experiments.AblationBestExternal(env).Render() + "\n" +
+			experiments.AblationLocalPref(env).Render() + "\n" +
+			experiments.AblationGeoDBError(env).Render()
+	})
+
+	fmt.Fprintf(os.Stderr, "all requested experiments done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,96 @@
+// Command geoipgen builds a geolocation database for the synthetic
+// Internet — either ground truth or commercial-quality (with the
+// calibrated error model) — and writes it in the binary format the
+// reflector hosts load.
+//
+//	geoipgen -numas 3000 -out geoip.db          # commercial quality
+//	geoipgen -truth -out truth.db               # ground truth
+//	geoipgen -dump geoip.db | head              # inspect a database
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vns/internal/geoip"
+	"vns/internal/loss"
+	"vns/internal/topo"
+)
+
+func main() {
+	numAS := flag.Int("numas", 3000, "synthetic Internet size")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	truth := flag.Bool("truth", false, "write ground truth instead of commercial quality")
+	out := flag.String("out", "geoip.db", "output file")
+	dump := flag.String("dump", "", "dump an existing database file and exit")
+	flag.Parse()
+
+	log.SetPrefix("geoipgen: ")
+	log.SetFlags(0)
+
+	if *dump != "" {
+		f, err := os.Open(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		db := geoip.New()
+		if _, err := db.ReadFrom(f); err != nil {
+			log.Fatal(err)
+		}
+		stale := 0
+		db.Walk(func(rec geoip.Record) bool {
+			flag := ""
+			if rec.Stale {
+				flag = " [stale]"
+				stale++
+			}
+			fmt.Printf("%-18v %-2s %v (%.2f, %.2f)%s\n",
+				rec.Prefix, rec.Country, rec.Region, rec.Pos.Lat, rec.Pos.Lon, flag)
+			return true
+		})
+		fmt.Fprintf(os.Stderr, "%d records, %d stale\n", db.Len(), stale)
+		return
+	}
+
+	t := topo.Generate(topo.GenConfig{Seed: *seed, NumAS: *numAS})
+	db := geoip.New()
+	truthDB := geoip.New()
+	corr := geoip.NewCorruptor(loss.NewRNG(*seed ^ 0xDB))
+	for i := range t.Prefixes {
+		pi := &t.Prefixes[i]
+		rec := geoip.Record{Prefix: pi.Prefix, Pos: pi.Loc, Country: pi.Country, Region: pi.Region}
+		if err := truthDB.Insert(rec); err != nil {
+			log.Fatal(err)
+		}
+		if !*truth {
+			rec = corr.Apply(rec)
+		}
+		if err := db.Insert(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !*truth {
+		log.Printf("accuracy vs ground truth: %v", geoip.CompareAccuracy(truthDB, db))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := db.WriteTo(f)
+	if err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	kind := "commercial-quality"
+	if *truth {
+		kind = "ground-truth"
+	}
+	log.Printf("wrote %s database: %d records, %d bytes -> %s", kind, db.Len(), n, *out)
+}

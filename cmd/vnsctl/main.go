@@ -1,0 +1,69 @@
+// Command vnsctl drives vnsd's management interface: the paper's
+// operational overrides for when geography picks the wrong exit.
+//
+//	vnsctl -addr 127.0.0.1:1791 stats
+//	vnsctl force 1.0.32.0/20 10.0.3.1
+//	vnsctl exempt 1.0.32.0/20
+//	vnsctl static 1.0.32.0/24 10.0.7.1
+//	vnsctl show 1.0.32.0/20
+//	vnsctl egresses
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:1791", "vnsd management address")
+	timeout := flag.Duration("timeout", 5*time.Second, "I/O timeout")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: vnsctl [-addr host:port] <command> [args...]")
+		fmt.Fprintln(os.Stderr, "commands: force unforce exempt unexempt static unstatic show egresses stats")
+		os.Exit(2)
+	}
+	cmd := strings.Join(flag.Args(), " ")
+
+	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnsctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(*timeout))
+
+	if _, err := fmt.Fprintln(conn, cmd); err != nil {
+		fmt.Fprintf(os.Stderr, "vnsctl: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Single-line responses end immediately; the multi-line "egresses"
+	// response is terminated by "end".
+	r := bufio.NewReader(conn)
+	multiline := strings.HasPrefix(cmd, "egresses")
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vnsctl: %v\n", err)
+			os.Exit(1)
+		}
+		line = strings.TrimRight(line, "\n")
+		if multiline && line == "end" {
+			return
+		}
+		fmt.Println(line)
+		if !multiline {
+			if strings.HasPrefix(line, "ERR") {
+				os.Exit(1)
+			}
+			return
+		}
+	}
+}

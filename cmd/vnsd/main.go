@@ -1,0 +1,88 @@
+// Command vnsd runs the VNS control plane as real BGP over TCP: the geo
+// route reflector listens for iBGP sessions, and (with -egress) the
+// eleven PoPs' egress routers are spawned in-process, dial in, and
+// announce their best-external routes from a synthetic Internet. The
+// reflector assigns geo-based local preferences and reflects routes;
+// cmd/vnsctl drives the management interface.
+//
+//	vnsd -listen 127.0.0.1:1790 -mgmt 127.0.0.1:1791 -numas 800
+package main
+
+import (
+	"flag"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vns/internal/core"
+	"vns/internal/experiments"
+	"vns/internal/vns"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:1790", "BGP listen address of the route reflector")
+	mgmt := flag.String("mgmt", "127.0.0.1:1791", "management interface listen address")
+	numAS := flag.Int("numas", 800, "synthetic Internet size")
+	seed := flag.Uint64("seed", 1, "world seed")
+	egress := flag.Bool("egress", true, "spawn in-process egress routers that dial the reflector")
+	maxPrefixes := flag.Int("max-prefixes", 500, "prefixes each egress router announces (0 = all)")
+	flag.Parse()
+
+	log.SetPrefix("vnsd: ")
+	log.SetFlags(log.Ltime)
+
+	env := experiments.NewEnv(experiments.Config{Seed: *seed, NumAS: *numAS})
+	for _, line := range strings.Split(env.Topo.ComputeStats().String(), "\n") {
+		log.Printf("world: %s", line)
+	}
+	log.Printf("world: %d eBGP sessions to %d neighbors", len(env.Peering.Sessions()), len(env.Peering.Neighbors))
+
+	rrID := netip.MustParseAddr("10.0.0.100")
+	w, err := vns.StartWireDeployment(*listen, env.DP, env.RR, rrID)
+	if err != nil {
+		log.Fatalf("starting reflector: %v", err)
+	}
+	defer w.Close()
+	log.Printf("geo route reflector listening on %s (cluster id %v)", w.RR.Addr(), rrID)
+
+	mg, err := core.NewMgmtServer(*mgmt, w.RR)
+	if err != nil {
+		log.Fatalf("starting management interface: %v", err)
+	}
+	defer mg.Close()
+	log.Printf("management interface on %s", mg.Addr())
+
+	if *egress {
+		go func() {
+			if err := w.ConnectEgresses(*maxPrefixes); err != nil {
+				log.Printf("egress routers: %v", err)
+				return
+			}
+			total := 0
+			for _, c := range w.AnnounceCounts() {
+				total += c
+			}
+			log.Printf("egress routers connected: %d announcements sent", total)
+		}()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			processed, misses := env.RR.Stats()
+			log.Printf("status: peers=%d routes=%d processed=%d geo-misses=%d",
+				w.RR.NumPeers(), w.RR.NumRoutes(), processed, misses)
+		case <-stop:
+			log.Print("shutting down")
+			return
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: build the VNS world, place a video call between two users
+// on opposite sides of the planet, and compare the overlay path with the
+// public-Internet path.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"vns/internal/experiments"
+	"vns/internal/geo"
+	"vns/internal/topo"
+)
+
+func main() {
+	// The environment assembles everything: a synthetic Internet, the
+	// eleven-PoP VNS deployment, the corrupted GeoIP database, and the
+	// geo route reflector.
+	env := experiments.NewEnv(experiments.Config{Seed: 7, NumAS: 1000})
+	fmt.Printf("VNS is up: %d PoPs, %d neighbor ASes, %d routes in the table\n\n",
+		len(env.Net.PoPs), len(env.Peering.Neighbors), len(env.Topo.Prefixes))
+
+	// Two call parties: one near Oslo (EU), one near Sydney (OC).
+	caller := findHost(env, geo.RegionEU)
+	callee := findHost(env, geo.RegionOC)
+	if caller == nil || callee == nil {
+		log.Fatal("no suitable hosts in the synthetic Internet")
+	}
+	fmt.Printf("caller: prefix %v near (%.1f, %.1f) in %v\n",
+		caller.Prefix, caller.Loc.Lat, caller.Loc.Lon, caller.Region)
+	fmt.Printf("callee: prefix %v near (%.1f, %.1f) in %v\n\n",
+		callee.Prefix, callee.Loc.Lat, callee.Loc.Lon, callee.Region)
+
+	// Media relays: anycast delivers each party to its nearest PoP.
+	entryA := env.Peering.EntryPoP(caller.Origin)
+	entryB := env.Peering.EntryPoP(callee.Origin)
+	fmt.Printf("caller enters VNS at %v, callee at %v\n", entryA, entryB)
+
+	// Inside VNS the call rides dedicated L2 links between the PoPs.
+	path := env.Net.InternalPath(entryA, entryB)
+	var hops []string
+	for _, p := range path {
+		hops = append(hops, p.Code)
+	}
+	fmt.Printf("internal path: %s (%.0f ms RTT on dedicated links)\n\n",
+		strings.Join(hops, " -> "), env.DP.InternalRTTMs(entryA, entryB))
+
+	// Compare with the public Internet: the same endpoints over transit.
+	vnsRTT, ok1 := env.DP.ThroughVNSRTT(entryA, entryB, callee)
+	inetRTT, ok2 := env.DP.ExternalRTTViaUpstream(entryA, callee)
+	if ok1 && ok2 {
+		fmt.Printf("end-to-end RTT to callee: %.0f ms through VNS, %.0f ms through transit\n",
+			vnsRTT, inetRTT)
+	}
+
+	// The geo route reflector's view of the callee's prefix.
+	dec := env.RR.Assign(entryB.Routers[0], callee.Prefix)
+	fmt.Printf("geo-routing: exit at %s scores LOCAL_PREF %d (%.0f km from the prefix)\n",
+		entryB.Code, dec.LocalPref, dec.DistanceKm)
+	egress := env.GeoEgressPoP(callee)
+	fmt.Printf("selected egress PoP for the callee: %v\n", egress)
+}
+
+// findHost picks an EC (enterprise/stub) prefix in the given region.
+func findHost(env *experiments.Env, region geo.Region) *topo.PrefixInfo {
+	for i := range env.Topo.Prefixes {
+		pi := &env.Topo.Prefixes[i]
+		if pi.Region != region {
+			continue
+		}
+		if a := env.Topo.AS(pi.Origin); a != nil && a.Type == topo.EC {
+			return pi
+		}
+	}
+	return nil
+}

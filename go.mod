@@ -1,0 +1,3 @@
+module vns
+
+go 1.24

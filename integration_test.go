@@ -1,0 +1,106 @@
+package vns
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"vns/internal/core"
+	"vns/internal/experiments"
+	"vns/internal/media"
+	"vns/internal/vns"
+)
+
+// TestEndToEndPipeline drives the whole stack once at small scale: world
+// generation, every experiment driver, and every renderer. It guards
+// against cross-module regressions that per-package tests cannot see.
+func TestEndToEndPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	env := experiments.NewEnv(experiments.Config{Seed: 123, NumAS: 800})
+
+	renders := map[string]string{
+		"fig3":       experiments.Fig3GeoPrecision(env).Render(),
+		"fig3-plot":  experiments.Fig3GeoPrecision(env).RenderPlot(),
+		"fig4":       experiments.Fig4EgressSelection(env).Render(),
+		"fig5":       experiments.Fig5NeighborSelection(env).Render(),
+		"fig6":       experiments.Fig6DelayDifference(env).Render(),
+		"fig7":       experiments.Fig7IncomingTraffic(env, 2000).Render(),
+		"congruence": experiments.CongruenceStudy(env).Render(),
+		"econ":       experiments.EconStudy(env, true, nil).Render(),
+		"repair":     experiments.RepairStudy(env, 5).Render(),
+		"ablation":   experiments.AblationBestExternal(env).Render(),
+	}
+	fig9 := experiments.Fig9VideoLoss(env, experiments.Fig9Config{
+		Days: 1, SessionsPerDay: 8, Definition: media.Def1080p,
+	})
+	renders["fig9"] = fig9.Render()
+	renders["fig10"] = experiments.Fig10LossNature(fig9).Render()
+	lm := experiments.LastMileStudy(env, experiments.LastMileConfig{Days: 1, HostsPerCell: 6})
+	renders["fig11"] = lm.RenderFig11()
+	renders["table1"] = lm.RenderTable1()
+	renders["fig12"] = lm.RenderFig12()
+
+	for name, out := range renders {
+		if len(strings.TrimSpace(out)) == 0 {
+			t.Errorf("%s rendered empty output", name)
+		}
+	}
+}
+
+// TestEndToEndWireControlPlane runs the control plane over real BGP/TCP
+// with the management interface, exactly as cmd/vnsd and cmd/vnsctl do.
+func TestEndToEndWireControlPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	env := experiments.NewEnv(experiments.Config{Seed: 321, NumAS: 400})
+	w, err := vns.StartWireDeployment("127.0.0.1:0", env.DP, env.RR, netip.MustParseAddr("10.0.0.100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	mg, err := core.NewMgmtServer("127.0.0.1:0", w.RR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+
+	if err := w.ConnectEgresses(50); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && w.RR.NumRoutes() < 50 {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if w.RR.NumRoutes() < 50 {
+		t.Fatalf("only %d routes converged", w.RR.NumRoutes())
+	}
+
+	// Drive the management interface end to end: stats, show, exempt,
+	// force, static with a covering route.
+	p := env.Topo.Prefixes[0].Prefix
+	if out := mg.Execute("stats"); !strings.Contains(out, "routes=") {
+		t.Errorf("stats = %q", out)
+	}
+	if out := mg.Execute("show " + p.String()); !strings.Contains(out, "via") {
+		t.Errorf("show = %q", out)
+	}
+	if out := mg.Execute("exempt " + p.String()); out != "OK" {
+		t.Errorf("exempt = %q", out)
+	}
+	egress := env.Net.PoP("SIN").Routers[0]
+	if out := mg.Execute("force " + p.String() + " " + egress.String()); out != "OK" {
+		t.Errorf("force = %q", out)
+	}
+	// A /24 inside the first prefix, statically advertised from SIN.
+	sub := netip.PrefixFrom(p.Addr(), 24)
+	if out := mg.Execute("static " + sub.String() + " " + egress.String()); out != "OK" {
+		t.Errorf("static = %q", out)
+	}
+	if got := len(env.RR.StaticUpdates()); got != 1 {
+		t.Errorf("static updates = %d", got)
+	}
+}

@@ -1,0 +1,52 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// marshalNLRI encodes prefixes in the RFC 4271 <length, prefix> form:
+// one length octet (bits) followed by ceil(length/8) prefix octets.
+// Only IPv4 prefixes are valid in the classic UPDATE NLRI fields.
+func marshalNLRI(prefixes []netip.Prefix) ([]byte, error) {
+	var out []byte
+	for _, p := range prefixes {
+		if !p.IsValid() {
+			return nil, fmt.Errorf("invalid prefix %v", p)
+		}
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("non-IPv4 prefix %v in NLRI", p)
+		}
+		p = p.Masked()
+		bits := p.Bits()
+		nbytes := (bits + 7) / 8
+		out = append(out, byte(bits))
+		addr := p.Addr().As4()
+		out = append(out, addr[:nbytes]...)
+	}
+	return out, nil
+}
+
+// unmarshalNLRI decodes a sequence of <length, prefix> entries.
+func unmarshalNLRI(buf []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(buf) > 0 {
+		bits := int(buf[0])
+		if bits > 32 {
+			return nil, fmt.Errorf("%w: NLRI prefix length %d", ErrBadLength, bits)
+		}
+		nbytes := (bits + 7) / 8
+		if len(buf) < 1+nbytes {
+			return nil, fmt.Errorf("%w: NLRI needs %d bytes, have %d", ErrTruncated, 1+nbytes, len(buf))
+		}
+		var addr [4]byte
+		copy(addr[:nbytes], buf[1:1+nbytes])
+		p := netip.PrefixFrom(netip.AddrFrom4(addr), bits)
+		if p.Masked() != p {
+			return nil, fmt.Errorf("%w: NLRI prefix %v has bits beyond its length", ErrBadLength, p)
+		}
+		out = append(out, p)
+		buf = buf[1+nbytes:]
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package bgp
+
+import "net/netip"
+
+// PackUpdates groups prefixes sharing one attribute set into as few
+// UPDATE messages as fit the 4096-byte protocol limit — what real
+// speakers do during table transfer instead of sending one prefix per
+// message. Withdrawals pack the same way with empty attributes.
+func PackUpdates(attrs Attrs, nlri []netip.Prefix) ([]Update, error) {
+	return packUpdates(attrs, nlri, false)
+}
+
+// PackWithdrawals groups withdrawn prefixes into minimal UPDATEs.
+func PackWithdrawals(withdrawn []netip.Prefix) ([]Update, error) {
+	return packUpdates(Attrs{}, withdrawn, true)
+}
+
+func packUpdates(attrs Attrs, prefixes []netip.Prefix, withdraw bool) ([]Update, error) {
+	if len(prefixes) == 0 {
+		return nil, nil
+	}
+	// Fixed per-message cost: header + the two length fields + the
+	// attribute block (absent for withdrawals).
+	overhead := headerLen + 4
+	if !withdraw {
+		encoded, err := attrs.marshal()
+		if err != nil {
+			return nil, err
+		}
+		overhead += len(encoded)
+	}
+
+	var out []Update
+	var cur []netip.Prefix
+	room := maxMsgLen - overhead
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		u := Update{}
+		if withdraw {
+			u.Withdrawn = cur
+		} else {
+			u.Attrs = attrs
+			u.NLRI = cur
+		}
+		out = append(out, u)
+		cur = nil
+		room = maxMsgLen - overhead
+	}
+	for _, p := range prefixes {
+		need := 1 + (p.Bits()+7)/8
+		if need > room {
+			flush()
+		}
+		cur = append(cur, p)
+		room -= need
+	}
+	flush()
+	return out, nil
+}

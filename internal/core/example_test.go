@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"vns/internal/core"
+	"vns/internal/geo"
+	"vns/internal/geoip"
+)
+
+func ExampleLinearLocalPref() {
+	// The closer the egress router to the prefix, the higher the
+	// LOCAL_PREF — and always far above the default of 100.
+	fmt.Println(core.LinearLocalPref(0))
+	fmt.Println(core.LinearLocalPref(5000))
+	fmt.Println(core.LinearLocalPref(20038))
+	// Output:
+	// 2000
+	// 1750
+	// 1000
+}
+
+func ExampleGeoRR_Assign() {
+	db := geoip.New()
+	db.Insert(geoip.Record{
+		Prefix: netip.MustParsePrefix("203.0.113.0/24"),
+		Pos:    geo.MustLookup("Amsterdam").Pos,
+	})
+	rr := core.New(core.Config{DB: db})
+	rr.AddEgress(core.Egress{ID: netip.MustParseAddr("10.0.9.1"), Pos: geo.MustLookup("Amsterdam").Pos, PoP: "AMS"})
+	rr.AddEgress(core.Egress{ID: netip.MustParseAddr("10.0.6.1"), Pos: geo.MustLookup("HongKong").Pos, PoP: "HK"})
+
+	ams := rr.Assign(netip.MustParseAddr("10.0.9.1"), netip.MustParsePrefix("203.0.113.0/24"))
+	hk := rr.Assign(netip.MustParseAddr("10.0.6.1"), netip.MustParsePrefix("203.0.113.0/24"))
+	fmt.Println(ams.LocalPref > hk.LocalPref)
+	// Output: true
+}

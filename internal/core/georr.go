@@ -1,0 +1,246 @@
+// Package core implements the paper's primary contribution: the
+// geo-based cold-potato route reflector (GeoRR). A modified route
+// reflector assigns each route a LOCAL_PREF derived from the great-circle
+// distance between the advertising egress router and the GeoIP location
+// of the destination prefix — the lower the distance, the higher the
+// preference, and always far above the default of 100 — then
+// re-advertises the modified route to every other peer. The resulting
+// routing prefers, for every destination, the geographically closest
+// egress PoP: cold-potato routing.
+//
+// The package also implements the paper's management interface for the
+// cases where geography picks the wrong exit: forcing a different exit
+// PoP, exempting a globally spread prefix from geo-routing entirely, and
+// statically advertising remote more-specifics tagged no-export.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"vns/internal/bgp"
+	"vns/internal/geo"
+	"vns/internal/geoip"
+)
+
+// LocalPrefFunc maps the distance between an egress router and a
+// destination prefix to a LOCAL_PREF value. Implementations must be
+// monotonically non-increasing in distance and must return values well
+// above rib.DefaultLocalPref so geo-routed routes always beat
+// unprocessed ones.
+type LocalPrefFunc func(distanceKm float64) uint32
+
+// halfEarthKm bounds meaningful great-circle distances.
+const halfEarthKm = 20038.0
+
+// LinearLocalPref is the default mapping: LOCAL_PREF falls linearly from
+// 2000 (zero distance) to 1000 (antipodal). Its resolution is about
+// 20 km per unit, finer than GeoIP accuracy, so distinct PoPs virtually
+// never collide.
+func LinearLocalPref(distanceKm float64) uint32 {
+	if distanceKm < 0 {
+		distanceKm = 0
+	}
+	if distanceKm > halfEarthKm {
+		distanceKm = halfEarthKm
+	}
+	return 1000 + uint32((halfEarthKm-distanceKm)/halfEarthKm*1000)
+}
+
+// StepLocalPref is the coarse alternative used in the ablation study: it
+// buckets distance into 500 km steps. Coarse buckets tie nearby PoPs and
+// fall back to the rest of the decision process.
+func StepLocalPref(distanceKm float64) uint32 {
+	if distanceKm < 0 {
+		distanceKm = 0
+	}
+	if distanceKm > halfEarthKm {
+		distanceKm = halfEarthKm
+	}
+	steps := uint32(distanceKm / 500)
+	return 2000 - steps*10
+}
+
+// Egress describes one egress router known to the reflector.
+type Egress struct {
+	// ID is the router's BGP identifier.
+	ID netip.Addr
+	// Pos is the router's physical location, known ahead of time (the
+	// paper provisions this per PoP).
+	Pos geo.LatLon
+	// PoP is a display name for diagnostics ("LON-1").
+	PoP string
+}
+
+// Config configures a GeoRR.
+type Config struct {
+	// DB is the geolocation database queried per prefix.
+	DB *geoip.DB
+	// LocalPref maps distance to preference; nil means LinearLocalPref.
+	LocalPref LocalPrefFunc
+	// ClusterID is the reflector's RFC 4456 cluster identifier.
+	ClusterID netip.Addr
+}
+
+// GeoRR is the geo-based route reflector. It is safe for concurrent use.
+type GeoRR struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	egresses map[netip.Addr]Egress
+
+	// Management state (the paper's overrides).
+	forced  map[netip.Prefix]netip.Addr // prefix -> forced egress router
+	exempt  map[netip.Prefix]bool       // prefixes excluded from geo-routing
+	statics []StaticRoute
+
+	// Counters for observability. misses has its own lock because it
+	// is incremented while mu is read-held.
+	processed uint64
+	missMu    sync.Mutex
+	misses    uint64
+}
+
+// StaticRoute is a more-specific prefix statically advertised from a
+// chosen egress (for subnets far from their covering prefix), tagged
+// no-export so it never leaks outside the VNS AS.
+type StaticRoute struct {
+	Prefix netip.Prefix
+	Egress netip.Addr
+}
+
+// New creates a GeoRR.
+func New(cfg Config) *GeoRR {
+	if cfg.LocalPref == nil {
+		cfg.LocalPref = LinearLocalPref
+	}
+	return &GeoRR{
+		cfg:      cfg,
+		egresses: make(map[netip.Addr]Egress),
+		forced:   make(map[netip.Prefix]netip.Addr),
+		exempt:   make(map[netip.Prefix]bool),
+	}
+}
+
+// AddEgress registers an egress router with its location.
+func (rr *GeoRR) AddEgress(e Egress) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	rr.egresses[e.ID] = e
+}
+
+// Egresses returns the registered egress routers.
+func (rr *GeoRR) Egresses() []Egress {
+	rr.mu.RLock()
+	defer rr.mu.RUnlock()
+	out := make([]Egress, 0, len(rr.egresses))
+	for _, e := range rr.egresses {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Decision is the outcome of geo-processing one route.
+type Decision struct {
+	// LocalPref is the assigned preference; 0 means "leave the route
+	// unmodified" (exempt prefix or no geolocation).
+	LocalPref uint32
+	// DistanceKm is the computed egress-to-prefix distance.
+	DistanceKm float64
+	// Record is the database record used.
+	Record geoip.Record
+	// Reason explains non-assignment ("exempt", "no geolocation",
+	// "forced to other egress", "") for logs and tests.
+	Reason string
+}
+
+// Assign computes the local preference for a route to prefix learned
+// from egress router from. This is the heart of the paper's mechanism.
+func (rr *GeoRR) Assign(from netip.Addr, prefix netip.Prefix) Decision {
+	rr.mu.Lock()
+	rr.processed++
+	rr.mu.Unlock()
+
+	rr.mu.RLock()
+	defer rr.mu.RUnlock()
+
+	if rr.exempt[prefix] {
+		return Decision{Reason: "exempt"}
+	}
+	eg, ok := rr.egresses[from]
+	if !ok {
+		return Decision{Reason: fmt.Sprintf("unknown egress %v", from)}
+	}
+	if forcedTo, ok := rr.forced[prefix]; ok {
+		// A forced prefix gets maximum preference at its designated
+		// egress and none elsewhere, overriding geography.
+		if forcedTo == from {
+			return Decision{LocalPref: 4000, Reason: "forced here"}
+		}
+		return Decision{Reason: "forced to other egress"}
+	}
+	rec, ok := rr.cfg.DB.LookupPrefix(prefix)
+	if !ok {
+		rr.missed()
+		return Decision{Reason: "no geolocation"}
+	}
+	d := geo.DistanceKm(eg.Pos, rec.Pos)
+	return Decision{
+		LocalPref:  rr.cfg.LocalPref(d),
+		DistanceKm: d,
+		Record:     rec,
+	}
+}
+
+func (rr *GeoRR) missed() {
+	rr.missMu.Lock()
+	rr.misses++
+	rr.missMu.Unlock()
+}
+
+// ProcessUpdate applies geo-routing to one received UPDATE from an
+// egress router and returns the modified update to re-advertise to all
+// other iBGP peers (RFC 4456 reflection with the geo local-pref
+// rewrite). A nil return means the update should be reflected
+// unmodified (exempt/unknown) — the caller still reflects withdraws.
+func (rr *GeoRR) ProcessUpdate(from netip.Addr, u bgp.Update) bgp.Update {
+	out := bgp.Update{Withdrawn: u.Withdrawn}
+	if len(u.NLRI) == 0 {
+		return out
+	}
+	// Routes in one UPDATE share attributes but may geolocate
+	// differently; the caller splits multi-prefix updates. The common
+	// single-prefix case is handled directly.
+	attrs := u.Attrs.Clone()
+	dec := rr.Assign(from, u.NLRI[0])
+	if dec.LocalPref > 0 {
+		attrs.LocalPref = dec.LocalPref
+		attrs.HasLocalPref = true
+	}
+	attrs = reflectAttrs(attrs, from, rr.cfg.ClusterID)
+	out.Attrs = attrs
+	out.NLRI = u.NLRI
+	return out
+}
+
+func reflectAttrs(attrs bgp.Attrs, originator, clusterID netip.Addr) bgp.Attrs {
+	if !attrs.OriginatorID.IsValid() {
+		attrs.OriginatorID = originator
+	}
+	if clusterID.IsValid() {
+		attrs.ClusterList = append([]netip.Addr{clusterID}, attrs.ClusterList...)
+	}
+	return attrs
+}
+
+// Stats returns (routes processed, geolocation misses).
+func (rr *GeoRR) Stats() (processed, misses uint64) {
+	rr.mu.RLock()
+	p := rr.processed
+	rr.mu.RUnlock()
+	rr.missMu.Lock()
+	m := rr.misses
+	rr.missMu.Unlock()
+	return p, m
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+)
+
+// MgmtServer exposes the paper's management interface over a line-based
+// TCP protocol, so operators (cmd/vnsctl) can correct the cases where
+// geography picks the wrong exit:
+//
+//	force <prefix> <egress-router>   pin a prefix's exit PoP
+//	unforce <prefix>                 remove the pin
+//	exempt <prefix>                  exclude a prefix from geo-routing
+//	unexempt <prefix>                re-enable geo-routing
+//	static <prefix> <egress-router>  advertise a no-export more-specific
+//	unstatic <prefix> <egress-router>
+//	show <prefix>                    current best route
+//	egresses                         registered egress routers
+//	stats                            counters
+//
+// Responses are a single "OK", "ERR <reason>", or data lines terminated
+// by a blank line.
+type MgmtServer struct {
+	srv *RRServer
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// NewMgmtServer starts the management listener on addr.
+func NewMgmtServer(addr string, srv *RRServer) (*MgmtServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &MgmtServer{srv: srv, ln: ln}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the listening address.
+func (m *MgmtServer) Addr() string { return m.ln.Addr().String() }
+
+// Close stops the listener.
+func (m *MgmtServer) Close() error {
+	var err error
+	m.closeOnce.Do(func() {
+		err = m.ln.Close()
+		m.wg.Wait()
+	})
+	return err
+}
+
+func (m *MgmtServer) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			for sc.Scan() {
+				resp := m.Execute(sc.Text())
+				if _, err := fmt.Fprintf(conn, "%s\n", resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Execute runs one management command and returns the response text
+// (without trailing newline).
+func (m *MgmtServer) Execute(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty command"
+	}
+	rr := m.srv.GeoRR()
+	cmd := strings.ToLower(fields[0])
+
+	parsePrefix := func(s string) (netip.Prefix, string) {
+		p, err := netip.ParsePrefix(s)
+		if err != nil {
+			return netip.Prefix{}, "ERR bad prefix: " + s
+		}
+		return p, ""
+	}
+	parseAddr := func(s string) (netip.Addr, string) {
+		a, err := netip.ParseAddr(s)
+		if err != nil {
+			return netip.Addr{}, "ERR bad router id: " + s
+		}
+		return a, ""
+	}
+
+	switch cmd {
+	case "force", "static", "unstatic":
+		if len(fields) != 3 {
+			return "ERR usage: " + cmd + " <prefix> <egress-router>"
+		}
+		p, e := parsePrefix(fields[1])
+		if e != "" {
+			return e
+		}
+		a, e := parseAddr(fields[2])
+		if e != "" {
+			return e
+		}
+		switch cmd {
+		case "force":
+			if err := rr.ForceExit(p, a); err != nil {
+				return "ERR " + err.Error()
+			}
+		case "static":
+			// The wire server holds routes for covering prefixes; a
+			// more-specific is accepted when any covering route exists.
+			cover := func(sub netip.Prefix) bool {
+				m.srv.mu.Lock()
+				defer m.srv.mu.Unlock()
+				for _, cp := range m.srv.table.Prefixes() {
+					if cp.Contains(sub.Addr()) && cp.Bits() < sub.Bits() {
+						return true
+					}
+				}
+				return false
+			}
+			if err := rr.AddStatic(p, a, cover); err != nil {
+				return "ERR " + err.Error()
+			}
+		case "unstatic":
+			rr.RemoveStatic(p, a)
+		}
+		return "OK"
+
+	case "unforce", "exempt", "unexempt":
+		if len(fields) != 2 {
+			return "ERR usage: " + cmd + " <prefix>"
+		}
+		p, e := parsePrefix(fields[1])
+		if e != "" {
+			return e
+		}
+		switch cmd {
+		case "unforce":
+			rr.Unforce(p)
+		case "exempt":
+			rr.Exempt(p)
+		case "unexempt":
+			rr.Unexempt(p)
+		}
+		return "OK"
+
+	case "show":
+		if len(fields) != 2 {
+			return "ERR usage: show <prefix>"
+		}
+		p, e := parsePrefix(fields[1])
+		if e != "" {
+			return e
+		}
+		best := m.srv.Best(p)
+		if best == nil {
+			return "no route"
+		}
+		flags := ""
+		if rr.IsExempt(p) {
+			flags += " exempt"
+		}
+		if fa, ok := rr.ForcedExit(p); ok {
+			flags += " forced=" + fa.String()
+		}
+		return fmt.Sprintf("%v via %v lp=%d%s", p, best.PeerID, best.LocalPref(), flags)
+
+	case "egresses":
+		var b strings.Builder
+		for _, e := range rr.Egresses() {
+			fmt.Fprintf(&b, "%s %v %v\n", e.PoP, e.ID, e.Pos)
+		}
+		b.WriteString("end")
+		return b.String()
+
+	case "stats":
+		processed, misses := rr.Stats()
+		return fmt.Sprintf("peers=%d routes=%d processed=%d geo-misses=%d statics=%d",
+			m.srv.NumPeers(), m.srv.NumRoutes(), processed, misses, len(rr.Statics()))
+
+	default:
+		return "ERR unknown command " + cmd
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+
+	"vns/internal/bgp"
+	"vns/internal/rib"
+)
+
+// RRServer runs the GeoRR as a real BGP speaker: it accepts iBGP
+// sessions from egress routers over TCP, applies the geo local-pref
+// rewrite to every received route, installs it in a Loc-RIB, and
+// reflects the modified route to every other peer — the wire-level
+// equivalent of the modified Quagga reflector.
+type RRServer struct {
+	rr  *GeoRR
+	cfg bgp.SessionConfig
+	ln  net.Listener
+
+	mu    sync.Mutex
+	peers map[netip.Addr]*bgp.Session
+	table *rib.Table
+	wg    sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// NewRRServer starts the reflector listening on addr (e.g.
+// "127.0.0.1:0"). localAS and routerID identify the reflector in its
+// OPEN messages.
+func NewRRServer(addr string, rr *GeoRR, localAS uint16, routerID netip.Addr) (*RRServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &RRServer{
+		rr:    rr,
+		cfg:   bgp.SessionConfig{LocalAS: localAS, LocalID: routerID},
+		ln:    ln,
+		peers: make(map[netip.Addr]*bgp.Session),
+		table: rib.NewTable(),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *RRServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts down the server and all sessions.
+func (s *RRServer) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		err = s.ln.Close()
+		s.mu.Lock()
+		for _, sess := range s.peers {
+			sess.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}
+
+// Best returns the reflector's current best route for a prefix.
+func (s *RRServer) Best(prefix netip.Prefix) *rib.Route {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Best(prefix)
+}
+
+// NumRoutes returns the number of prefixes in the Loc-RIB.
+func (s *RRServer) NumRoutes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Len()
+}
+
+// NumPeers returns the number of established sessions.
+func (s *RRServer) NumPeers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.peers)
+}
+
+// GeoRR exposes the underlying reflector for management operations.
+func (s *RRServer) GeoRR() *GeoRR { return s.rr }
+
+func (s *RRServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *RRServer) serveConn(conn net.Conn) {
+	sess, err := bgp.Handshake(conn, s.cfg)
+	if err != nil {
+		return
+	}
+	peerID := sess.PeerID()
+	s.mu.Lock()
+	if old, dup := s.peers[peerID]; dup {
+		old.Close()
+	}
+	s.peers[peerID] = sess
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		stillOwner := s.peers[peerID] == sess
+		if stillOwner {
+			delete(s.peers, peerID)
+		}
+		s.mu.Unlock()
+		sess.Close()
+		if stillOwner {
+			s.purgePeer(peerID)
+		}
+	}()
+
+	for u := range sess.Updates() {
+		s.handleUpdate(peerID, u)
+	}
+}
+
+// purgePeer withdraws every route learned from a dead peer and
+// propagates the withdrawals, so a crashed egress router does not leave
+// stale geo-routed paths behind.
+func (s *RRServer) purgePeer(peerID netip.Addr) {
+	s.mu.Lock()
+	var gone []netip.Prefix
+	for _, p := range s.table.Prefixes() {
+		for _, r := range s.table.Candidates(p) {
+			if r.PeerID == peerID {
+				s.table.Withdraw(p, peerID, peerID)
+				gone = append(gone, p)
+				break
+			}
+		}
+	}
+	targets := make([]*bgp.Session, 0, len(s.peers))
+	for _, sess := range s.peers {
+		targets = append(targets, sess)
+	}
+	s.mu.Unlock()
+
+	if len(gone) == 0 {
+		return
+	}
+	updates, err := bgp.PackWithdrawals(gone)
+	if err != nil {
+		return
+	}
+	for _, u := range updates {
+		for _, sess := range targets {
+			_ = sess.SendUpdate(u)
+		}
+	}
+}
+
+// handleUpdate processes one UPDATE from an egress router: withdraws
+// are removed from the Loc-RIB and propagated; announcements get the
+// geo local-pref, enter the Loc-RIB, and are reflected to all other
+// peers (splitting multi-prefix NLRI so each prefix geolocates
+// independently).
+func (s *RRServer) handleUpdate(from netip.Addr, u bgp.Update) {
+	// Reflection loop check (RFC 4456 §8).
+	if u.Attrs.HasClusterLoop(s.cfg.LocalID) {
+		return
+	}
+	var outs []bgp.Update
+	s.mu.Lock()
+	for _, w := range u.Withdrawn {
+		if s.table.Withdraw(w, from, from) {
+			outs = append(outs, bgp.Update{Withdrawn: []netip.Prefix{w}})
+		}
+	}
+	for _, p := range u.NLRI {
+		single := bgp.Update{Attrs: u.Attrs, NLRI: []netip.Prefix{p}}
+		out := s.rr.ProcessUpdate(from, single)
+		s.table.Upsert(&rib.Route{
+			Prefix:   p,
+			Attrs:    out.Attrs,
+			PeerAS:   u.Attrs.FirstAS(),
+			PeerID:   from,
+			PeerAddr: from,
+		})
+		outs = append(outs, out)
+	}
+	targets := make([]*bgp.Session, 0, len(s.peers))
+	for id, sess := range s.peers {
+		if id != from {
+			targets = append(targets, sess)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, out := range outs {
+		for _, sess := range targets {
+			// A dead session is reaped by its own serveConn; ignore
+			// send errors here.
+			_ = sess.SendUpdate(out)
+		}
+	}
+}
+
+// ErrNotEstablished reports a dial that never reached Established.
+var ErrNotEstablished = errors.New("core: session not established")
+
+// DialRR connects an egress router to the reflector and returns the
+// established session. The caller announces routes with SendUpdate and
+// receives reflected routes on Updates().
+func DialRR(addr string, localAS uint16, routerID netip.Addr) (*bgp.Session, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := bgp.Handshake(conn, bgp.SessionConfig{LocalAS: localAS, LocalID: routerID})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotEstablished, err)
+	}
+	return sess, nil
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vns/internal/core"
+	"vns/internal/geoip"
+	"vns/internal/measure"
+	"vns/internal/topo"
+)
+
+// Ablations isolate the design choices DESIGN.md calls out: the BGP
+// best-external mitigation for hidden routes, the shape of the
+// distance→LOCAL_PREF function, and the sensitivity of geo-routing
+// precision to GeoIP database error.
+
+// AblationResult is a generic small table of named scalars.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// AblationRow is one variant's metrics.
+type AblationRow struct {
+	Variant string
+	// OptimalShare is the fraction of prefixes whose selected egress is
+	// the delay-optimal PoP (within 1 ms).
+	OptimalShare float64
+	// P90DisplacementMs is the 90th percentile RTT displacement.
+	P90DisplacementMs float64
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render() string {
+	tb := measure.NewTable(r.Title, "Variant", "optimal egress", "P90 displacement")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Variant, measure.Pct(row.OptimalShare),
+			fmt.Sprintf("%.1fms", row.P90DisplacementMs))
+	}
+	return tb.String()
+}
+
+// egressPicker selects an egress PoP for a prefix.
+type egressPicker func(pi *topo.PrefixInfo) (popCode string, ok bool)
+
+// precision measures an egress-selection policy against the
+// delay-optimal choice over all prefixes.
+func precision(e *Env, pick egressPicker) AblationRow {
+	var diffs []float64
+	optimal := 0
+	for i := range e.Topo.Prefixes {
+		pi := &e.Topo.Prefixes[i]
+		code, ok := pick(pi)
+		if !ok {
+			continue
+		}
+		rtt, ok := e.DP.ExternalRTT(e.Net.PoP(code), pi)
+		if !ok {
+			continue
+		}
+		best := rtt
+		for _, p := range e.Net.PoPs {
+			if r, ok := e.DP.ExternalRTT(p, pi); ok && r < best {
+				best = r
+			}
+		}
+		d := rtt - best
+		diffs = append(diffs, d)
+		if d <= 1 {
+			optimal++
+		}
+	}
+	cdf := measure.NewCDF(diffs)
+	return AblationRow{
+		OptimalShare:      float64(optimal) / float64(len(diffs)),
+		P90DisplacementMs: cdf.Percentile(0.9),
+	}
+}
+
+func geoPicker(e *Env, rr *core.GeoRR) egressPicker {
+	return func(pi *topo.PrefixInfo) (string, bool) {
+		cands := e.Peering.Candidates(pi.Origin)
+		best, ok := e.Peering.SelectGeo(rr, e.Net.PoP("LON"), cands, pi.Prefix)
+		if !ok {
+			return "", false
+		}
+		return best.Session.PoP.Code, true
+	}
+}
+
+// AblationBestExternal compares geo-routing with best-external enabled
+// (every border router keeps advertising its best external route, so the
+// reflector sees all candidates) against the hidden-route regime where
+// the first-learned route wins.
+func AblationBestExternal(e *Env) *AblationResult {
+	res := &AblationResult{Title: "Ablation: hidden routes vs BGP best-external"}
+
+	withRow := precision(e, geoPicker(e, e.RR))
+	withRow.Variant = "best-external (deployed)"
+	res.Rows = append(res.Rows, withRow)
+
+	withoutRow := precision(e, func(pi *topo.PrefixInfo) (string, bool) {
+		cands := e.Peering.Candidates(pi.Origin)
+		best, ok := e.Peering.SelectFirstArrival(cands, pi.Prefix)
+		if !ok {
+			return "", false
+		}
+		return best.Session.PoP.Code, true
+	})
+	withoutRow.Variant = "hidden routes (no best-external)"
+	res.Rows = append(res.Rows, withoutRow)
+	return res
+}
+
+// AblationLocalPref compares the linear distance→LOCAL_PREF mapping with
+// the coarse 500 km step mapping.
+func AblationLocalPref(e *Env) *AblationResult {
+	res := &AblationResult{Title: "Ablation: distance-to-LOCAL_PREF mapping"}
+	for _, v := range []struct {
+		name string
+		fn   core.LocalPrefFunc
+	}{
+		{"linear (deployed)", core.LinearLocalPref},
+		{"500km steps", core.StepLocalPref},
+	} {
+		rr := core.New(core.Config{DB: e.DB, LocalPref: v.fn})
+		for _, p := range e.Net.PoPs {
+			for _, r := range p.Routers {
+				rr.AddEgress(core.Egress{ID: r, Pos: p.Place.Pos, PoP: p.Code})
+			}
+		}
+		row := precision(e, geoPicker(e, rr))
+		row.Variant = v.name
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// AblationGeoDBError sweeps GeoIP database quality: ground truth, the
+// calibrated commercial-quality database, and a badly degraded one.
+func AblationGeoDBError(e *Env) *AblationResult {
+	res := &AblationResult{Title: "Ablation: GeoIP database error sensitivity"}
+
+	variants := []struct {
+		name string
+		db   *geoip.DB
+	}{
+		{"ground truth", e.TruthDB},
+		{"commercial quality (deployed)", e.DB},
+		{"degraded (300km jitter, 20% collapse)", degradedDB(e)},
+	}
+	for _, v := range variants {
+		rr := core.New(core.Config{DB: v.db})
+		for _, p := range e.Net.PoPs {
+			for _, r := range p.Routers {
+				rr.AddEgress(core.Egress{ID: r, Pos: p.Place.Pos, PoP: p.Code})
+			}
+		}
+		row := precision(e, geoPicker(e, rr))
+		row.Variant = v.name
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func degradedDB(e *Env) *geoip.DB {
+	db := geoip.New()
+	corr := geoip.NewCorruptor(e.RNG.Fork(0xBAD))
+	corr.CityJitterKmSigma = 300
+	corr.CountryCollapseRate = 0.2
+	corr.StaleRate = 0.5
+	for i := range e.Topo.Prefixes {
+		pi := &e.Topo.Prefixes[i]
+		rec := corr.Apply(geoip.Record{Prefix: pi.Prefix, Pos: pi.Loc, Country: pi.Country, Region: pi.Region})
+		if err := db.Insert(rec); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}

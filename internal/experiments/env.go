@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"vns/internal/core"
+	"vns/internal/geoip"
+	"vns/internal/loss"
+	"vns/internal/topo"
+	"vns/internal/vns"
+)
+
+// Config scales an experiment environment.
+type Config struct {
+	// Seed drives every stochastic component.
+	Seed uint64
+	// NumAS sizes the synthetic Internet (default 3000; tests pass less).
+	NumAS int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 20131209 // CoNEXT'13 opening day
+	}
+	if c.NumAS == 0 {
+		c.NumAS = 3000
+	}
+	return c
+}
+
+// Env is the assembled world every experiment runs against: the
+// synthetic Internet, the VNS deployment attached to it, the corrupted
+// geolocation database, the geo route reflector, and the data plane.
+type Env struct {
+	Cfg     Config
+	Topo    *topo.Topology
+	Net     *vns.Network
+	Peering *vns.Peering
+	// TruthDB holds ground-truth prefix locations; DB is the
+	// commercial-quality (corrupted) database the GeoRR queries.
+	TruthDB *geoip.DB
+	DB      *geoip.DB
+	RR      *core.GeoRR
+	DP      *vns.DataPlane
+	// RNG is the root generator experiments fork from.
+	RNG *loss.RNG
+}
+
+// NewEnv builds an environment. It is deterministic in cfg.
+func NewEnv(cfg Config) *Env {
+	cfg = cfg.withDefaults()
+	e := &Env{Cfg: cfg, RNG: loss.NewRNG(cfg.Seed)}
+
+	e.Topo = topo.Generate(topo.GenConfig{Seed: cfg.Seed, NumAS: cfg.NumAS})
+	e.Net = vns.NewNetwork()
+	e.Peering = vns.Connect(e.Net, e.Topo, vns.ConnectConfig{Seed: cfg.Seed})
+
+	e.TruthDB = geoip.New()
+	e.DB = geoip.New()
+	corr := geoip.NewCorruptor(e.RNG.Fork(0xDB))
+	for i := range e.Topo.Prefixes {
+		pi := &e.Topo.Prefixes[i]
+		truth := geoip.Record{Prefix: pi.Prefix, Pos: pi.Loc, Country: pi.Country, Region: pi.Region}
+		if err := e.TruthDB.Insert(truth); err != nil {
+			panic(err)
+		}
+		if err := e.DB.Insert(corr.Apply(truth)); err != nil {
+			panic(err)
+		}
+	}
+
+	e.RR = core.New(core.Config{DB: e.DB})
+	for _, p := range e.Net.PoPs {
+		for _, r := range p.Routers {
+			e.RR.AddEgress(core.Egress{ID: r, Pos: p.Place.Pos, PoP: p.Code})
+		}
+	}
+	e.DP = vns.NewDataPlane(e.Peering, cfg.Seed^0xDA7A)
+	return e
+}
+
+// GeoEgressPoP returns the egress PoP geo-based routing selects for a
+// prefix, or nil when the destination is unreachable.
+func (e *Env) GeoEgressPoP(pi *topo.PrefixInfo) *vns.PoP {
+	cands := e.Peering.Candidates(pi.Origin)
+	best, ok := e.Peering.SelectGeo(e.RR, e.Net.PoP("LON"), cands, pi.Prefix)
+	if !ok {
+		return nil
+	}
+	return best.Session.PoP
+}

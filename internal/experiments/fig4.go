@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vns/internal/measure"
+)
+
+// Fig4Result compares egress-PoP usage before and after geo-based
+// routing, from the perspective of PoP 10 (London).
+type Fig4Result struct {
+	// Before[i] and After[i] are the percentages of routes exiting at
+	// PoP i+1 under hot-potato and geo-based routing respectively.
+	Before, After []float64
+	// Routes is the number of prefixes attributed.
+	Routes int
+}
+
+// Fig4EgressSelection attributes every prefix's selected egress PoP from
+// London's viewpoint under both routing regimes (Figure 4).
+func Fig4EgressSelection(e *Env) *Fig4Result {
+	lon := e.Net.PoP("LON")
+	nPoPs := len(e.Net.PoPs)
+	before := make([]int, nPoPs+1)
+	after := make([]int, nPoPs+1)
+	total := 0
+	for i := range e.Topo.Prefixes {
+		pi := &e.Topo.Prefixes[i]
+		cands := e.Peering.Candidates(pi.Origin)
+		hb, ok1 := e.Peering.SelectHotPotato(lon, cands, pi.Prefix)
+		ha, ok2 := e.Peering.SelectGeo(e.RR, lon, cands, pi.Prefix)
+		if !ok1 || !ok2 {
+			continue
+		}
+		before[hb.Session.PoP.ID]++
+		after[ha.Session.PoP.ID]++
+		total++
+	}
+	res := &Fig4Result{Routes: total, Before: make([]float64, nPoPs+1), After: make([]float64, nPoPs+1)}
+	for id := 1; id <= nPoPs; id++ {
+		res.Before[id] = float64(before[id]) / float64(total) * 100
+		res.After[id] = float64(after[id]) / float64(total) * 100
+	}
+	return res
+}
+
+// LocalShareBefore returns the percentage of routes London exits locally
+// under hot potato (the paper reports about 70%).
+func (r *Fig4Result) LocalShareBefore() float64 { return r.Before[10] }
+
+// LocalShareAfter returns London's local share under geo routing.
+func (r *Fig4Result) LocalShareAfter() float64 { return r.After[10] }
+
+// Spread returns the number of PoPs carrying at least the given share
+// of routes, a scalar for "more even distribution".
+func (r *Fig4Result) Spread(minSharePct float64, after bool) int {
+	src := r.Before
+	if after {
+		src = r.After
+	}
+	n := 0
+	for id := 1; id < len(src); id++ {
+		if src[id] >= minSharePct {
+			n++
+		}
+	}
+	return n
+}
+
+// Render prints the per-PoP shares.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	tb := measure.NewTable("Figure 4: % of routes exiting at each PoP (vantage: PoP 10, London)",
+		"PoP", "Before", "After")
+	for id := 1; id < len(r.Before); id++ {
+		tb.AddRow(fmt.Sprint(id),
+			fmt.Sprintf("%.1f%%", r.Before[id]),
+			fmt.Sprintf("%.1f%%", r.After[id]))
+	}
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "\nLondon local exit share: before=%.1f%% after=%.1f%% (routes=%d)\n",
+		r.LocalShareBefore(), r.LocalShareAfter(), r.Routes)
+	fmt.Fprintf(&b, "PoPs carrying >=5%% of routes: before=%d after=%d\n",
+		r.Spread(5, false), r.Spread(5, true))
+	return b.String()
+}

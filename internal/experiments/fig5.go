@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vns/internal/measure"
+	"vns/internal/vns"
+)
+
+// Fig5Result compares neighbor (next-hop AS) usage before and after
+// geo-based routing, plus the share of prefixes reached through transit.
+type Fig5Result struct {
+	// Before[i] / After[i] are percentages of routes through neighbor
+	// index i (1-based; 1..7 upstreams, 8..20 peers).
+	Before, After []float64
+	// TransitShareBefore / After are the inner plot: % of routes via
+	// upstreams.
+	TransitShareBefore, TransitShareAfter float64
+	Routes                                int
+}
+
+// Fig5NeighborSelection attributes every prefix's best route to the
+// neighbor that carries it, before and after geo-based routing
+// (Figure 5). The "before" view aggregates every PoP's own hot-potato
+// selection (each PoP exits through its local sessions); the "after"
+// view is network-wide, since geo local-pref makes every router agree.
+func Fig5NeighborSelection(e *Env) *Fig5Result {
+	n := len(e.Peering.Neighbors)
+	before := make([]int, n+1)
+	after := make([]int, n+1)
+	transitB, transitA, total := 0, 0, 0
+	for i := range e.Topo.Prefixes {
+		pi := &e.Topo.Prefixes[i]
+		cands := e.Peering.Candidates(pi.Origin)
+		okAll := true
+		for _, pop := range e.Net.PoPs {
+			hb, ok := e.Peering.SelectHotPotato(pop, cands, pi.Prefix)
+			if !ok {
+				okAll = false
+				break
+			}
+			before[hb.Session.Neighbor.Index]++
+			if hb.Session.Neighbor.Kind == vns.Upstream {
+				transitB++
+			}
+		}
+		ha, ok2 := e.Peering.SelectGeo(e.RR, e.Net.PoP("LON"), cands, pi.Prefix)
+		if !okAll || !ok2 {
+			continue
+		}
+		after[ha.Session.Neighbor.Index] += len(e.Net.PoPs)
+		if ha.Session.Neighbor.Kind == vns.Upstream {
+			transitA += len(e.Net.PoPs)
+		}
+		total += len(e.Net.PoPs)
+	}
+	res := &Fig5Result{
+		Routes: total,
+		Before: make([]float64, n+1),
+		After:  make([]float64, n+1),
+	}
+	for i := 1; i <= n; i++ {
+		res.Before[i] = float64(before[i]) / float64(total) * 100
+		res.After[i] = float64(after[i]) / float64(total) * 100
+	}
+	res.TransitShareBefore = float64(transitB) / float64(total) * 100
+	res.TransitShareAfter = float64(transitA) / float64(total) * 100
+	return res
+}
+
+// Render prints the top-20 neighbor shares and the transit share inset.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	tb := measure.NewTable("Figure 5: % of routes through each neighbor (1-7 upstreams, 8+ peers)",
+		"Neighbor", "Kind", "Before", "After")
+	for i := 1; i < len(r.Before) && i <= 20; i++ {
+		kind := "peer"
+		if i <= 7 {
+			kind = "upstream"
+		}
+		tb.AddRow(fmt.Sprint(i), kind,
+			fmt.Sprintf("%.1f%%", r.Before[i]),
+			fmt.Sprintf("%.1f%%", r.After[i]))
+	}
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "\nTransit routes (inner plot): before=%.1f%% after=%.1f%% (routes=%d)\n",
+		r.TransitShareBefore, r.TransitShareAfter, r.Routes)
+	return b.String()
+}

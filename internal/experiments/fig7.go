@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vns/internal/geo"
+	"vns/internal/measure"
+)
+
+// Fig7Result is the incoming-traffic matrix: where VNS receives anycast
+// authentication requests originated in each part of the world.
+type Fig7Result struct {
+	// Share[origin][popRegion] is the fraction of requests from the
+	// origin region that arrive at PoPs in popRegion.
+	Share map[geo.Region]map[geo.Region]float64
+	// Requests is the total request count.
+	Requests int
+}
+
+// Fig7IncomingTraffic replays a day of TURN authentication requests
+// (the paper examined 60k) against the anycast catchment model.
+func Fig7IncomingTraffic(e *Env, requests int) *Fig7Result {
+	if requests <= 0 {
+		requests = 60000
+	}
+	rng := e.RNG.Fork(0xF16_7)
+	counts := map[geo.Region]map[geo.Region]int{}
+	totals := map[geo.Region]int{}
+	asns := e.Topo.ASNs()
+	got := 0
+	for got < requests {
+		asn := asns[rng.Intn(len(asns))]
+		a := e.Topo.AS(asn)
+		entry := e.Peering.EntryPoP(asn)
+		if entry == nil {
+			continue
+		}
+		got++
+		if counts[a.Region] == nil {
+			counts[a.Region] = map[geo.Region]int{}
+		}
+		counts[a.Region][entry.Region()]++
+		totals[a.Region]++
+	}
+	res := &Fig7Result{Share: make(map[geo.Region]map[geo.Region]float64), Requests: got}
+	for origin, row := range counts {
+		res.Share[origin] = make(map[geo.Region]float64)
+		for popRegion, c := range row {
+			res.Share[origin][popRegion] = float64(c) / float64(totals[origin])
+		}
+	}
+	return res
+}
+
+// DiagonalShare returns the overall fraction of requests landing in the
+// PoP region that serves the origin region ("traffic follows geography").
+func (r *Fig7Result) DiagonalShare() float64 {
+	var match, total float64
+	for origin, row := range r.Share {
+		for popRegion, share := range row {
+			total += share
+			if popRegion == geo.PoPRegion(origin) {
+				match += share
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return match / total
+}
+
+// Render prints the origin-region x PoP-region matrix.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	tb := measure.NewTable("Figure 7: incoming anycast traffic, share per PoP region",
+		"Origin", "EU", "US", "AP", "OC")
+	for _, origin := range geo.Regions() {
+		row, ok := r.Share[origin]
+		if !ok {
+			continue
+		}
+		tb.AddRow(origin.String(),
+			measure.Pct(row[geo.RegionEU]),
+			measure.Pct(row[geo.RegionNA]),
+			measure.Pct(row[geo.RegionAP]),
+			measure.Pct(row[geo.RegionOC]))
+	}
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "\nrequests=%d, geographic (diagonal) share=%s\n", r.Requests, measure.Pct(r.DiagonalShare()))
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"vns/internal/geo"
+)
+
+func ExampleDistanceKm() {
+	ams := geo.MustLookup("Amsterdam")
+	syd := geo.MustLookup("Sydney")
+	fmt.Printf("%.0f km\n", geo.DistanceKm(ams.Pos, syd.Pos))
+	// Output: 16643 km
+}
+
+func ExampleRTTMs() {
+	lon := geo.MustLookup("London")
+	ash := geo.MustLookup("Ashburn")
+	fmt.Printf("%.0f ms\n", geo.RTTMs(lon.Pos, ash.Pos))
+	// Output: 59 ms
+}
+
+func ExamplePoPRegion() {
+	fmt.Println(geo.PoPRegion(geo.RegionME))
+	fmt.Println(geo.PoPRegion(geo.RegionSA))
+	// Output:
+	// EU
+	// NA
+}

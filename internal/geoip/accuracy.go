@@ -1,0 +1,85 @@
+package geoip
+
+import (
+	"fmt"
+	"sort"
+
+	"vns/internal/geo"
+)
+
+// AccuracyReport compares a database against ground truth, the way
+// Poese et al. validated commercial GeoIP databases against an ISP's
+// ground truth (the study the paper relies on when accepting MaxMind's
+// precision).
+type AccuracyReport struct {
+	Records int
+	// Within are the fractions of records located within 10/100/1000 km
+	// of their true position.
+	Within10Km, Within100Km, Within1000Km float64
+	// CountryMatch is the fraction with the correct country — the
+	// property GeoIP databases are good at.
+	CountryMatch float64
+	// MedianErrorKm is the median location error.
+	MedianErrorKm float64
+	// Stale counts records flagged as stale-registry relocations.
+	Stale int
+}
+
+// CompareAccuracy evaluates db against the ground-truth database truth.
+// Records missing from either side are skipped.
+func CompareAccuracy(truth, db *DB) AccuracyReport {
+	var rep AccuracyReport
+	var errs []float64
+	truth.Walk(func(want Record) bool {
+		got, ok := db.LookupPrefix(want.Prefix)
+		if !ok || got.Prefix != want.Prefix {
+			return true
+		}
+		rep.Records++
+		d := geo.DistanceKm(want.Pos, got.Pos)
+		errs = append(errs, d)
+		if d <= 10 {
+			rep.Within10Km++
+		}
+		if d <= 100 {
+			rep.Within100Km++
+		}
+		if d <= 1000 {
+			rep.Within1000Km++
+		}
+		if got.Country == want.Country {
+			rep.CountryMatch++
+		}
+		if got.Stale {
+			rep.Stale++
+		}
+		return true
+	})
+	if rep.Records == 0 {
+		return rep
+	}
+	n := float64(rep.Records)
+	rep.Within10Km /= n
+	rep.Within100Km /= n
+	rep.Within1000Km /= n
+	rep.CountryMatch /= n
+	// Median via partial sort (nth element would do; records are few).
+	rep.MedianErrorKm = median(errs)
+	return rep
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func (r AccuracyReport) String() string {
+	return fmt.Sprintf(
+		"%d records: %.0f%% within 10km, %.0f%% within 100km, %.0f%% within 1000km; country match %.0f%%; median error %.0f km; %d stale",
+		r.Records, r.Within10Km*100, r.Within100Km*100, r.Within1000Km*100,
+		r.CountryMatch*100, r.MedianErrorKm, r.Stale)
+}

@@ -1,0 +1,99 @@
+package geoip
+
+import (
+	"vns/internal/geo"
+	"vns/internal/loss"
+)
+
+// Corruptor degrades ground-truth locations into database-quality
+// locations. Rates are probabilities per record.
+type Corruptor struct {
+	// CityJitterKmSigma perturbs every surviving record by a normally
+	// distributed distance, modeling city-level imprecision. Poese et
+	// al. report ~60% of MaxMind prefixes within 100 km of truth.
+	CityJitterKmSigma float64
+	// CountryCollapseRate sends a record to its country centroid,
+	// modeling country-accurate / city-ignorant entries. Applied to all
+	// countries, it reproduces the Russia cluster for large countries.
+	CountryCollapseRate float64
+	// CountryCollapseOverrides raises the collapse rate for specific
+	// countries. The paper's Russian outlier cluster comes from a large
+	// family of prefixes all pinned to one central-Russia location, so
+	// RU gets a much higher collapse rate by default.
+	CountryCollapseOverrides map[string]float64
+	// StaleRelocations maps a country code to a foreign place records
+	// may be mislocated to, modeling M&A registry staleness (the Indian
+	// prefixes geolocated in Canada).
+	StaleRelocations map[string]geo.Place
+	// StaleRate is the probability a record from a country listed in
+	// StaleRelocations carries the stale foreign location.
+	StaleRate float64
+
+	rng *loss.RNG
+}
+
+// NewCorruptor returns a corruptor with the calibrated defaults used by
+// the experiments: city jitter ~60 km sigma, 3% country collapse, and
+// the paper's two documented stale-registry families.
+func NewCorruptor(rng *loss.RNG) *Corruptor {
+	return &Corruptor{
+		CityJitterKmSigma:   60,
+		CountryCollapseRate: 0.03,
+		CountryCollapseOverrides: map[string]float64{
+			"RU": 0.35,
+			"US": 0.20,
+		},
+		StaleRelocations: map[string]geo.Place{
+			// Indian prefixes formerly owned by a Canadian ISP bought by
+			// TATA kept their Canadian Whois location.
+			"IN": geo.MustLookup("Montreal"),
+		},
+		StaleRate: 0.25,
+		rng:       rng,
+	}
+}
+
+// Apply degrades one ground-truth record into a database record. The
+// input record's Pos/Country must be ground truth; the result carries
+// the (possibly wrong) database view.
+func (c *Corruptor) Apply(truth Record) Record {
+	out := truth
+	if place, ok := c.StaleRelocations[truth.Country]; ok && c.rng.Bool(c.StaleRate) {
+		out.Pos = place.Pos
+		out.Region = place.Region
+		out.Stale = true
+		return out
+	}
+	collapse := c.CountryCollapseRate
+	if override, ok := c.CountryCollapseOverrides[truth.Country]; ok {
+		collapse = override
+	}
+	if c.rng.Bool(collapse) {
+		if centroid, ok := geo.CountryCentroid(truth.Country); ok {
+			out.Pos = centroid
+			return out
+		}
+	}
+	if c.CityJitterKmSigma > 0 {
+		// Jitter by a 2-D normal displacement. One degree of latitude is
+		// ~111 km; longitude degrees shrink with latitude but for jitter
+		// purposes the equatorial approximation keeps the magnitude right
+		// to within the catalog's own precision.
+		const kmPerDeg = 111.0
+		out.Pos.Lat += c.rng.NormFloat64() * c.CityJitterKmSigma / kmPerDeg
+		out.Pos.Lon += c.rng.NormFloat64() * c.CityJitterKmSigma / kmPerDeg
+		if out.Pos.Lat > 90 {
+			out.Pos.Lat = 90
+		}
+		if out.Pos.Lat < -90 {
+			out.Pos.Lat = -90
+		}
+		for out.Pos.Lon > 180 {
+			out.Pos.Lon -= 360
+		}
+		for out.Pos.Lon < -180 {
+			out.Pos.Lon += 360
+		}
+	}
+	return out
+}

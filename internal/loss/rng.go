@@ -1,0 +1,94 @@
+// Package loss implements the stochastic packet-loss machinery of the
+// data-plane simulation: a deterministic random number generator, uniform
+// and Gilbert–Elliott (bursty) loss models, diurnal congestion modulation,
+// and rare routing-convergence burst events.
+//
+// The paper attributes long-haul transit loss to three mechanisms: a
+// random baseline spread evenly over time, short intense bursts (IGP
+// convergence, transient congestion), and sustained loss from congested
+// links with clear diurnal patterns. Each mechanism is a separate model
+// here so experiments can compose and ablate them.
+package loss
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator
+// (splitmix64). Every stochastic component in the simulator owns its own
+// RNG seeded explicitly, so experiment runs are reproducible bit-for-bit
+// and independent streams never interleave.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("loss: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate using the Box–Muller
+// transform (one value per call; the pair's second value is discarded to
+// keep the generator stateless beyond its counter).
+func (r *RNG) NormFloat64() float64 {
+	// Polar rejection would be faster, but Box-Muller is branch-free and
+	// deterministic in the number of Uint64 draws, which keeps independent
+	// streams aligned.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponential variate with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Fork derives an independent generator from this one, keyed by id.
+// Forking gives each simulated entity (link, stream, prober) its own
+// stream so adding entities does not perturb existing ones.
+func (r *RNG) Fork(id uint64) *RNG {
+	// Mix the parent seed state with the id through one splitmix round.
+	z := r.state ^ (id+0x632be59bd9b4e019)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &RNG{state: z ^ (z >> 31)}
+}

@@ -1,0 +1,21 @@
+package measure_test
+
+import (
+	"fmt"
+
+	"vns/internal/measure"
+)
+
+func ExampleCDF() {
+	cdf := measure.NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	fmt.Printf("P(X<=5) = %.1f\n", cdf.At(5))
+	fmt.Printf("median  = %.1f\n", cdf.Percentile(0.5))
+	// Output:
+	// P(X<=5) = 0.5
+	// median  = 5.5
+}
+
+func ExampleSparkline() {
+	fmt.Println(measure.Sparkline([]float64{1, 2, 4, 8, 4, 2, 1}))
+	// Output: ▁▂▄█▄▂▁
+}

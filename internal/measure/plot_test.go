@@ -1,0 +1,63 @@
+package measure
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiPlotBasic(t *testing.T) {
+	p := &AsciiPlot{Title: "test plot", XLabel: "ms", Width: 40, Height: 8}
+	p.AddSeries("a", []Point{{0, 0}, {1, 1}, {2, 4}, {3, 9}})
+	p.AddSeries("b", []Point{{0, 9}, {3, 0}})
+	out := p.String()
+	if !strings.Contains(out, "test plot") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "+=b") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("missing data glyphs")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 rows + axis + xrange + legend
+	if len(lines) != 12 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestAsciiPlotEmpty(t *testing.T) {
+	p := &AsciiPlot{Title: "empty"}
+	if out := p.String(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot output: %q", out)
+	}
+}
+
+func TestAsciiPlotDegenerateRange(t *testing.T) {
+	p := &AsciiPlot{Width: 10, Height: 4}
+	p.AddSeries("flat", []Point{{1, 5}, {1, 5}})
+	out := p.String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len([]rune(s)) != 8 {
+		t.Errorf("sparkline length: %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("sparkline endpoints: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	flat := Sparkline([]float64{2, 2, 2})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat sparkline: %q", flat)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package measure
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 {
+		t.Errorf("bad summary: %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("stddev = %v, want sqrt(2.5)", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.CCDFAt(2.5); got != 0.5 {
+		t.Errorf("CCDFAt(2.5) = %v, want 0.5", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 || c.Percentile(0.5) != 0 || c.N() != 0 {
+		t.Error("empty CDF misbehaves")
+	}
+	if pts := c.Points(5); pts != nil {
+		t.Error("empty CDF should yield no points")
+	}
+}
+
+func TestCDFDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	NewCDF(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("NewCDF mutated its input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if got := c.Percentile(0); got != 10 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := c.Percentile(1); got != 50 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := c.Percentile(0.5); got != 30 {
+		t.Errorf("median = %v", got)
+	}
+	if got := c.Percentile(0.25); got != 20 {
+		t.Errorf("p25 = %v", got)
+	}
+}
+
+func TestCDFMonotonicProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		c := NewCDF(clean)
+		prev := -1.0
+		for _, x := range append([]float64{-1e9, 0, 1e9}, clean...) {
+			v := c.At(x)
+			if v < 0 || v > 1 {
+				return false
+			}
+			_ = prev
+		}
+		// Monotonicity over the sorted sample values.
+		s := make([]float64, len(clean))
+		copy(s, clean)
+		sort.Float64s(s)
+		last := 0.0
+		for _, x := range s {
+			v := c.At(x)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileWithinRangeProperty(t *testing.T) {
+	f := func(xs []float64, q float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		c := NewCDF(clean)
+		qq := math.Mod(math.Abs(q), 1)
+		v := c.Percentile(qq)
+		s := Summarize(clean)
+		return v >= s.Min-1e-9 && v <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("got %d points, want 11", len(pts))
+	}
+	if pts[0].X != 0 || pts[len(pts)-1].X != 9 {
+		t.Errorf("point range [%v, %v], want [0, 9]", pts[0].X, pts[len(pts)-1].X)
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Errorf("final CDF value = %v, want 1", pts[len(pts)-1].Y)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Errorf("CDF points not monotone at %d", i)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-5) // clamps to first bin
+	h.Add(99) // clamps to last bin
+	if h.Total() != 12 {
+		t.Errorf("total = %d, want 12", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Errorf("clamping failed: %v", h.Counts)
+	}
+	if f := h.Fraction(0); math.Abs(f-2.0/12) > 1e-12 {
+		t.Errorf("Fraction(0) = %v", f)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram should panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestLogBins(t *testing.T) {
+	edges := LogBins(0.001, 10, 5)
+	if len(edges) != 5 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	if edges[0] != 0.001 || edges[4] != 10 {
+		t.Errorf("edge endpoints wrong: %v", edges)
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Errorf("edges not increasing: %v", edges)
+		}
+	}
+	// Log spacing: ratios should be constant.
+	r1 := edges[1] / edges[0]
+	r2 := edges[3] / edges[2]
+	if math.Abs(r1-r2) > 1e-9 {
+		t.Errorf("ratios differ: %v vs %v", r1, r2)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table 1: loss", "Region", "LTP", "STP")
+	tb.AddRowf("AP", "%.2f", 0.45, 1.30)
+	tb.AddRow("EU", "0.11", "0.62")
+	out := tb.String()
+	if !strings.Contains(out, "Table 1: loss") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "0.45") || !strings.Contains(out, "0.62") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.1234); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,91 @@
+package measure
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows of labeled values as a fixed-width text table. The
+// experiment harness uses it to print the same rows the paper's tables
+// and figure series report.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Cells beyond the header count are kept; short
+// rows are padded when rendering.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row formatting each value with the given verb, e.g.
+// "%.2f" for floats.
+func (t *Table) AddRowf(label string, verb string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf(verb, v))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// NumRows returns the number of data rows added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	ncols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		sep := make([]string, ncols)
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

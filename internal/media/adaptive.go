@@ -1,0 +1,124 @@
+package media
+
+import (
+	"fmt"
+
+	"vns/internal/loss"
+)
+
+// This file implements the adaptive-rate behaviour the paper notes as a
+// second-order cost of packet loss: "it can lead to downgrading the
+// transmission rate in adaptive implementations". An adaptive sender
+// watches receiver loss reports and steps the encoded definition down
+// under loss, recovering only after sustained clean windows — so even
+// transient loss costs the user minutes of degraded video.
+
+// Rung is one rung of the adaptive bitrate ladder.
+type Rung struct {
+	Name       string
+	BitrateBps float64
+}
+
+// DefaultLadder is a conferencing-style ladder from full HD down to a
+// thumbnail stream.
+var DefaultLadder = []Rung{
+	{"1080p", 4.0e6},
+	{"720p", 2.5e6},
+	{"480p", 1.2e6},
+	{"360p", 0.7e6},
+}
+
+// AdaptiveConfig tunes the controller.
+type AdaptiveConfig struct {
+	// Ladder is the available rate ladder, highest first. Nil means
+	// DefaultLadder.
+	Ladder []Rung
+	// WindowSec is the loss-report interval (RTCP-like), default 5 s.
+	WindowSec float64
+	// DownThresholdPct steps down when window loss exceeds it
+	// (default 0.5%).
+	DownThresholdPct float64
+	// UpAfterWindows steps up after this many consecutive clean
+	// windows (default 12, i.e. a minute of clean video).
+	UpAfterWindows int
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Ladder == nil {
+		c.Ladder = DefaultLadder
+	}
+	if c.WindowSec == 0 {
+		c.WindowSec = 5
+	}
+	if c.DownThresholdPct == 0 {
+		c.DownThresholdPct = 0.5
+	}
+	if c.UpAfterWindows == 0 {
+		c.UpAfterWindows = 12
+	}
+	return c
+}
+
+// AdaptiveStats summarizes an adaptive session.
+type AdaptiveStats struct {
+	// TimeAtRung[i] is the seconds spent at ladder rung i.
+	TimeAtRung []float64
+	// Downgrades counts rate reductions.
+	Downgrades int
+	// MeanBitrateBps is the time-averaged sent bitrate.
+	MeanBitrateBps float64
+	// TopShare is the fraction of the call spent at the top rung.
+	TopShare float64
+}
+
+func (s AdaptiveStats) String() string {
+	return fmt.Sprintf("adaptive: %.0f%% at top rung, %d downgrades, mean %.2f Mbit/s",
+		s.TopShare*100, s.Downgrades, s.MeanBitrateBps/1e6)
+}
+
+// RunAdaptive simulates an adaptive sender over a loss process for the
+// given duration: each window's loss is sampled at the current rung's
+// packet rate; loss above the threshold steps the rate down, sustained
+// clean windows step it back up.
+func RunAdaptive(cfg AdaptiveConfig, lm loss.Model, durationSec, startSec float64) AdaptiveStats {
+	cfg = cfg.withDefaults()
+	st := AdaptiveStats{TimeAtRung: make([]float64, len(cfg.Ladder))}
+	rung := 0
+	clean := 0
+	var rateTime float64
+
+	for at := 0.0; at < durationSec; at += cfg.WindowSec {
+		r := cfg.Ladder[rung]
+		// Packets in this window at the rung's bitrate (1200 B payloads).
+		pkts := int(r.BitrateBps / 8 / 1200 * cfg.WindowSec)
+		lost := 0
+		for i := 0; i < pkts; i++ {
+			if lm != nil && lm.Drop(startSec+at+float64(i)*cfg.WindowSec/float64(pkts)) {
+				lost++
+			}
+		}
+		st.TimeAtRung[rung] += cfg.WindowSec
+		rateTime += r.BitrateBps * cfg.WindowSec
+
+		lossPct := 0.0
+		if pkts > 0 {
+			lossPct = float64(lost) / float64(pkts) * 100
+		}
+		if lossPct > cfg.DownThresholdPct {
+			clean = 0
+			if rung < len(cfg.Ladder)-1 {
+				rung++
+				st.Downgrades++
+			}
+		} else {
+			clean++
+			if clean >= cfg.UpAfterWindows && rung > 0 {
+				rung--
+				clean = 0
+			}
+		}
+	}
+	st.MeanBitrateBps = rateTime / durationSec
+	st.TopShare = st.TimeAtRung[0] / durationSec
+	return st
+}

@@ -1,0 +1,24 @@
+package media_test
+
+import (
+	"fmt"
+
+	"vns/internal/loss"
+	"vns/internal/media"
+)
+
+func ExampleGenerateTrace() {
+	tr := media.GenerateTrace(media.TraceConfig{
+		Definition: media.Def1080p, DurationSec: 10, Seed: 1,
+	})
+	fmt.Printf("%.1f Mbit/s over %d packets\n", tr.MeanRateBps()/1e6, tr.NumPackets())
+	// Output: 4.1 Mbit/s over 4339 packets
+}
+
+func ExampleRunFEC() {
+	tr := media.GenerateTrace(media.TraceConfig{Definition: media.Def720p, DurationSec: 30, Seed: 2})
+	lm := loss.NewUniform(0.01, loss.NewRNG(3))
+	st := media.RunFEC(tr, media.FECScheme{Block: 10}, lm, 0)
+	fmt.Println(st.ResidualPct() < st.WirePct())
+	// Output: true
+}

@@ -1,0 +1,41 @@
+package media
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalRTP: the RTP decoder must never panic and accepted
+// packets must round-trip.
+func FuzzUnmarshalRTP(f *testing.F) {
+	good, _ := (&RTPPacket{PayloadType: 96, Seq: 1, Payload: []byte("x")}).Marshal()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, 12))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := UnmarshalRTP(data)
+		if err != nil {
+			return
+		}
+		out, err := pkt.Marshal()
+		if err != nil {
+			t.Fatalf("accepted packet unmarshalable: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("RTP round trip not byte-identical")
+		}
+	})
+}
+
+// FuzzReadSIP: the SIP-lite parser must never panic.
+func FuzzReadSIP(f *testing.F) {
+	f.Add([]byte("INVITE sip:echo@vns SIP/2.0\r\nCall-Id: x\r\nContent-Length: 0\r\n\r\n"))
+	f.Add([]byte("SIP/2.0 200 OK\r\nContent-Length: 3\r\n\r\nabc"))
+	f.Add([]byte("garbage\r\n\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadSIP(bufio.NewReader(bytes.NewReader(data)))
+	})
+}

@@ -1,0 +1,140 @@
+package media
+
+import (
+	"fmt"
+
+	"vns/internal/loss"
+	"vns/internal/netsim"
+)
+
+// SlotSec is the loss-accounting slot length: the paper splits each
+// two-minute measurement into 24 five-second slots.
+const SlotSec = 5.0
+
+// StreamStats accumulates what the paper's instrumented clients log for
+// one video session: packets sent/received, per-slot loss, and RFC 3550
+// jitter.
+type StreamStats struct {
+	Definition Definition
+	Sent       int
+	Received   int
+	SlotSent   []int
+	SlotLost   []int
+	Jitter     JitterEstimator
+}
+
+// NewStreamStats prepares stats for a stream of the given duration.
+func NewStreamStats(def Definition, durationSec float64) *StreamStats {
+	slots := int(durationSec/SlotSec) + 1
+	return &StreamStats{
+		Definition: def,
+		SlotSent:   make([]int, slots),
+		SlotLost:   make([]int, slots),
+	}
+}
+
+func (s *StreamStats) slot(atSec float64) int {
+	i := int(atSec / SlotSec)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.SlotSent) {
+		i = len(s.SlotSent) - 1
+	}
+	return i
+}
+
+// RecordSent notes a packet sent at stream offset atSec.
+func (s *StreamStats) RecordSent(atSec float64) {
+	s.Sent++
+	s.SlotSent[s.slot(atSec)]++
+}
+
+// RecordLost notes that the packet sent at atSec was dropped.
+func (s *StreamStats) RecordLost(atSec float64) {
+	s.SlotLost[s.slot(atSec)]++
+}
+
+// RecordReceived notes a delivery and updates the jitter estimator.
+// mediaMs is the packet's position in the stream; arrivalMs its arrival
+// in the same clock.
+func (s *StreamStats) RecordReceived(mediaMs, arrivalMs float64) {
+	s.Received++
+	s.Jitter.Observe(mediaMs, arrivalMs)
+}
+
+// LossPct returns overall loss in percent.
+func (s *StreamStats) LossPct() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Sent-s.Received) / float64(s.Sent) * 100
+}
+
+// LossySlots returns the number of 5-second slots with at least one
+// lost packet, the x-axis of Figure 10.
+func (s *StreamStats) LossySlots() int {
+	n := 0
+	for _, l := range s.SlotLost {
+		if l > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *StreamStats) String() string {
+	return fmt.Sprintf("%v: sent=%d recv=%d loss=%.3f%% lossySlots=%d jitter=%.2fms",
+		s.Definition, s.Sent, s.Received, s.LossPct(), s.LossySlots(), s.Jitter.Jitter())
+}
+
+// FastRun streams a trace through a loss model without the event-queue
+// simulator: per packet, the loss model decides survival and arrival
+// times get base delay plus one-sided normal noise. It is the fast path
+// the large measurement sweeps use; RunOverPath is the high-fidelity
+// equivalent.
+//
+// startSec anchors the stream in simulated wall time so diurnal loss
+// models see the correct time of day.
+func FastRun(tr *Trace, lm loss.Model, startSec, baseDelayMs, jitterSigmaMs float64, rng *loss.RNG) *StreamStats {
+	st := NewStreamStats(tr.Definition, tr.DurationSec)
+	for _, p := range tr.Packets {
+		st.RecordSent(p.AtSec)
+		if lm != nil && lm.Drop(startSec+p.AtSec) {
+			st.RecordLost(p.AtSec)
+			continue
+		}
+		delay := baseDelayMs
+		if jitterSigmaMs > 0 {
+			j := rng.NormFloat64() * jitterSigmaMs
+			if j < 0 {
+				j = -j
+			}
+			delay += j
+		}
+		st.RecordReceived(p.AtSec*1000, p.AtSec*1000+delay)
+	}
+	return st
+}
+
+// RunOverPath streams a trace over a simulated network path, starting at
+// the simulator's current time, and returns the receiver-side stats
+// after the simulation completes. The caller runs the simulator.
+func RunOverPath(sim *netsim.Sim, path *netsim.Path, tr *Trace) *StreamStats {
+	st := NewStreamStats(tr.Definition, tr.DurationSec)
+	start := sim.Now()
+	for i, p := range tr.Packets {
+		p := p
+		seq := uint32(i)
+		sim.Schedule(start+p.AtSec, func() {
+			st.RecordSent(p.AtSec)
+			path.Send(sim, netsim.Packet{Seq: seq, Size: p.Size}, func(pkt netsim.Packet) {
+				arrivalMs := (sim.Now() - start) * 1000
+				st.RecordReceived(p.AtSec*1000, arrivalMs)
+			}, func(int) {
+				st.RecordLost(p.AtSec)
+			})
+		})
+	}
+	return st
+}

@@ -1,0 +1,154 @@
+package netsim
+
+import (
+	"vns/internal/loss"
+)
+
+// Packet is one simulated datagram.
+type Packet struct {
+	// Seq is the sender-assigned sequence number.
+	Seq uint32
+	// Size is the wire size in bytes.
+	Size int
+	// SentAt is stamped by Path.Send.
+	SentAt Time
+	// Marking distinguishes flows or payload kinds for receivers.
+	Marking uint32
+}
+
+// Link is one directed hop: propagation delay, serialization at a given
+// bandwidth, FIFO queueing, optional random queueing jitter, and an
+// attached loss model.
+type Link struct {
+	// Name identifies the link in diagnostics.
+	Name string
+	// PropDelayMs is the one-way propagation delay.
+	PropDelayMs float64
+	// BandwidthMbps bounds throughput; 0 means unconstrained (no
+	// serialization or queueing delay).
+	BandwidthMbps float64
+	// QueueLimit bounds the FIFO: a packet whose queueing delay would
+	// exceed QueueLimit packets' worth of serialization is tail-dropped.
+	// 0 means unbounded.
+	QueueLimit int
+	// JitterMsSigma adds one-sided random queueing noise (|N(0,σ)|),
+	// modeling cross-traffic on multiplexed links.
+	JitterMsSigma float64
+	// Loss drops packets stochastically. nil means lossless.
+	Loss loss.Model
+
+	rng       *loss.RNG
+	busyUntil Time
+
+	// Statistics, updated per packet.
+	txPackets uint64
+	txBytes   uint64
+	drops     uint64
+}
+
+// NewLink constructs a link; rng drives its jitter and must be non-nil
+// when JitterMsSigma > 0.
+func NewLink(name string, propDelayMs, bandwidthMbps float64, lm loss.Model, rng *loss.RNG) *Link {
+	return &Link{
+		Name:          name,
+		PropDelayMs:   propDelayMs,
+		BandwidthMbps: bandwidthMbps,
+		Loss:          lm,
+		rng:           rng,
+	}
+}
+
+// transit computes this hop's contribution for a packet entering at now:
+// the total one-way delay in milliseconds, or dropped=true.
+func (l *Link) transit(now Time, size int) (delayMs float64, dropped bool) {
+	if l.Loss != nil && l.Loss.Drop(now) {
+		l.drops++
+		return 0, true
+	}
+	delayMs = l.PropDelayMs
+	if l.BandwidthMbps > 0 {
+		serMs := float64(size) * 8 / (l.BandwidthMbps * 1e6) * 1000
+		start := now
+		if l.busyUntil > start {
+			queued := l.busyUntil - start
+			if l.QueueLimit > 0 && queued > Time(float64(l.QueueLimit)*serMs/1000) {
+				l.drops++
+				return 0, true // tail drop
+			}
+			start = l.busyUntil
+		}
+		finish := start + serMs/1000
+		l.busyUntil = finish
+		delayMs += (finish - now) * 1000
+	}
+	if l.JitterMsSigma > 0 && l.rng != nil {
+		j := l.rng.NormFloat64() * l.JitterMsSigma
+		if j < 0 {
+			j = -j
+		}
+		delayMs += j
+	}
+	l.txPackets++
+	l.txBytes += uint64(size)
+	return delayMs, false
+}
+
+// Stats returns the link's lifetime counters: packets and bytes
+// forwarded, and packets dropped (loss model or tail drop).
+func (l *Link) Stats() (txPackets, txBytes, drops uint64) {
+	return l.txPackets, l.txBytes, l.drops
+}
+
+// UtilizationMbps returns the mean offered load over a window of
+// simulated seconds, for capacity planning against BandwidthMbps.
+func (l *Link) UtilizationMbps(windowSec float64) float64 {
+	if windowSec <= 0 {
+		return 0
+	}
+	return float64(l.txBytes) * 8 / windowSec / 1e6
+}
+
+// Path is an ordered sequence of links from sender to receiver.
+type Path struct {
+	Links []*Link
+}
+
+// NewPath builds a path over the given links.
+func NewPath(links ...*Link) *Path { return &Path{Links: links} }
+
+// OneWayDelayMs returns the path's zero-load propagation delay.
+func (p *Path) OneWayDelayMs() float64 {
+	var d float64
+	for _, l := range p.Links {
+		d += l.PropDelayMs
+	}
+	return d
+}
+
+// Send injects pkt at the path head at the current simulated time and
+// schedules deliver when (and if) it survives all hops. If the packet is
+// dropped, drop is invoked (when non-nil) with the link index.
+func (p *Path) Send(sim *Sim, pkt Packet, deliver func(Packet), drop func(hop int)) {
+	pkt.SentAt = sim.Now()
+	p.forward(sim, pkt, 0, deliver, drop)
+}
+
+func (p *Path) forward(sim *Sim, pkt Packet, hop int, deliver func(Packet), drop func(int)) {
+	if hop == len(p.Links) {
+		if deliver != nil {
+			deliver(pkt)
+		}
+		return
+	}
+	l := p.Links[hop]
+	delayMs, dropped := l.transit(sim.Now(), pkt.Size)
+	if dropped {
+		if drop != nil {
+			drop(hop)
+		}
+		return
+	}
+	sim.After(delayMs/1000, func() {
+		p.forward(sim, pkt, hop+1, deliver, drop)
+	})
+}

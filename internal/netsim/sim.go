@@ -1,0 +1,96 @@
+// Package netsim is a discrete-event network simulator: an event loop in
+// simulated time, links with propagation delay, serialization, FIFO
+// queueing and attached loss models, and paths that forward packets hop
+// by hop. Media streams (internal/media) and probe trains
+// (internal/probe) run on it.
+//
+// Simulated time is in seconds, as float64. The simulator is
+// single-threaded and deterministic: equal inputs produce equal event
+// orders.
+package netsim
+
+import "container/heap"
+
+// Time is simulated time in seconds since the start of the scenario.
+type Time = float64
+
+// Sim is the event loop. The zero value is ready to use.
+type Sim struct {
+	pq  eventHeap
+	now Time
+	seq uint64
+}
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: schedule order
+	do  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Schedule runs do at simulated time at. Scheduling in the past panics:
+// it indicates a logic error that would silently corrupt causality.
+func (s *Sim) Schedule(at Time, do func()) {
+	if at < s.now {
+		panic("netsim: scheduling into the past")
+	}
+	heap.Push(&s.pq, event{at: at, seq: s.seq, do: do})
+	s.seq++
+}
+
+// After schedules do after a delay from now.
+func (s *Sim) After(delay Time, do func()) {
+	s.Schedule(s.now+delay, do)
+}
+
+// Step executes the next event; it reports false when no events remain.
+func (s *Sim) Step() bool {
+	if s.pq.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.pq).(event)
+	s.now = e.at
+	e.do()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event is
+// after until; simulated time ends clamped to until.
+func (s *Sim) Run(until Time) {
+	for s.pq.Len() > 0 && s.pq[0].at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll executes every pending event.
+func (s *Sim) RunAll() {
+	for s.Step() {
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.pq.Len() }

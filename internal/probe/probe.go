@@ -1,0 +1,111 @@
+// Package probe implements the paper's active measurement machinery:
+// back-to-back ICMP-style probe trains against end hosts, and multi-day
+// probing campaigns that aggregate loss by hour of day — the method
+// behind the last-mile study (Figures 11 and 12, Table 1).
+//
+// RTT probing (minimum of a short ping train) needs no machinery here:
+// topo.DelayModel already returns the stable minimum RTT a 5-packet
+// train converges to.
+package probe
+
+import (
+	"fmt"
+
+	"vns/internal/geo"
+	"vns/internal/loss"
+	"vns/internal/topo"
+)
+
+// Train sends n back-to-back probes at simulated time nowSec through the
+// loss model and returns how many were lost. Back-to-back probes land in
+// the same congestion state, which is why the paper's 100-packet trains
+// see bursty last-mile loss clearly.
+func Train(lm loss.Model, n int, nowSec float64) int {
+	lost := 0
+	for i := 0; i < n; i++ {
+		// 1 ms spacing within the train.
+		if lm.Drop(nowSec + float64(i)*0.001) {
+			lost++
+		}
+	}
+	return lost
+}
+
+// Target is one probed end host.
+type Target struct {
+	// ID is a stable index for result addressing.
+	ID int
+	// Region is the host's geographic region.
+	Region geo.Region
+	// Type is the host AS's business type.
+	Type topo.ASType
+	// Model is the end-to-end loss process from the campaign's vantage
+	// to this host (transit leg composed with last mile).
+	Model loss.Model
+}
+
+// Campaign is a multi-day probing schedule from one vantage point.
+type Campaign struct {
+	Targets []Target
+	// IntervalSec between rounds per target (paper: 600 s).
+	IntervalSec float64
+	// PacketsPerRound per train (paper: 100).
+	PacketsPerRound int
+	// DurationSec of the whole campaign (paper: three weeks).
+	DurationSec float64
+	// StartSec offsets the campaign within the simulated day.
+	StartSec float64
+}
+
+// TargetResult accumulates one target's measurements.
+type TargetResult struct {
+	Target      Target
+	Sent, Lost  int
+	Rounds      int
+	LossyRounds int
+	// LossEventsByHour counts rounds with at least one lost packet per
+	// local (CET-style) hour of day — Figure 12's metric.
+	LossEventsByHour [24]int
+}
+
+// AvgLossPct returns the target's average loss percentage.
+func (r *TargetResult) AvgLossPct() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Lost) / float64(r.Sent) * 100
+}
+
+func (r *TargetResult) String() string {
+	return fmt.Sprintf("target %d (%v/%v): %.2f%% over %d rounds",
+		r.Target.ID, r.Target.Type, r.Target.Region, r.AvgLossPct(), r.Rounds)
+}
+
+// Run executes the campaign and returns one result per target.
+func (c *Campaign) Run() []TargetResult {
+	interval := c.IntervalSec
+	if interval <= 0 {
+		interval = 600
+	}
+	pkts := c.PacketsPerRound
+	if pkts <= 0 {
+		pkts = 100
+	}
+	results := make([]TargetResult, len(c.Targets))
+	for i, tgt := range c.Targets {
+		res := TargetResult{Target: tgt}
+		for at := c.StartSec; at < c.StartSec+c.DurationSec; at += interval {
+			lost := Train(tgt.Model, pkts, at)
+			res.Rounds++
+			res.Sent += pkts
+			res.Lost += lost
+			if lost > 0 {
+				res.LossyRounds++
+				hour := int(at/3600) % 24
+				res.LossEventsByHour[hour]++
+			}
+		}
+		results[i] = res
+	}
+	return results
+}

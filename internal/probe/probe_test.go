@@ -1,0 +1,118 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"vns/internal/geo"
+	"vns/internal/loss"
+	"vns/internal/topo"
+)
+
+func TestTrainLossless(t *testing.T) {
+	if got := Train(loss.None{}, 100, 0); got != 0 {
+		t.Errorf("lossless train lost %d", got)
+	}
+}
+
+func TestTrainFullLoss(t *testing.T) {
+	if got := Train(loss.NewUniform(1, loss.NewRNG(1)), 100, 0); got != 100 {
+		t.Errorf("full-loss train lost %d, want 100", got)
+	}
+}
+
+func TestTrainRate(t *testing.T) {
+	lm := loss.NewUniform(0.05, loss.NewRNG(2))
+	total := 0
+	for i := 0; i < 1000; i++ {
+		total += Train(lm, 100, float64(i)*600)
+	}
+	got := float64(total) / 100000
+	if math.Abs(got-0.05) > 0.005 {
+		t.Errorf("train loss rate = %v, want 0.05", got)
+	}
+}
+
+func TestCampaignAccounting(t *testing.T) {
+	c := Campaign{
+		Targets: []Target{
+			{ID: 0, Region: geo.RegionEU, Type: topo.EC, Model: loss.None{}},
+			{ID: 1, Region: geo.RegionAP, Type: topo.CAHP, Model: loss.NewUniform(0.5, loss.NewRNG(3))},
+		},
+		IntervalSec:     600,
+		PacketsPerRound: 100,
+		DurationSec:     24 * 3600,
+	}
+	res := c.Run()
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	wantRounds := 144 // 24h at 10-minute intervals
+	for i, r := range res {
+		if r.Rounds != wantRounds {
+			t.Errorf("target %d rounds = %d, want %d", i, r.Rounds, wantRounds)
+		}
+		if r.Sent != wantRounds*100 {
+			t.Errorf("target %d sent = %d", i, r.Sent)
+		}
+	}
+	if res[0].Lost != 0 || res[0].LossyRounds != 0 {
+		t.Errorf("lossless target lost packets: %+v", res[0])
+	}
+	if got := res[1].AvgLossPct(); math.Abs(got-50) > 3 {
+		t.Errorf("lossy target avg = %v%%, want ~50%%", got)
+	}
+	if res[1].LossyRounds != wantRounds {
+		t.Errorf("every round should be lossy at 50%%: %d", res[1].LossyRounds)
+	}
+	// Hourly events must sum to lossy rounds.
+	sum := 0
+	for _, n := range res[1].LossEventsByHour {
+		sum += n
+	}
+	if sum != res[1].LossyRounds {
+		t.Errorf("hourly events sum %d != lossy rounds %d", sum, res[1].LossyRounds)
+	}
+}
+
+func TestCampaignDiurnalPattern(t *testing.T) {
+	rng := loss.NewRNG(4)
+	base := loss.NewUniform(0.002, rng.Fork(1))
+	diurnal := loss.NewDiurnal(base, 20, 14, 4, rng.Fork(2))
+	c := Campaign{
+		Targets:         []Target{{Model: diurnal}},
+		IntervalSec:     600,
+		PacketsPerRound: 100,
+		DurationSec:     7 * 24 * 3600,
+	}
+	res := c.Run()[0]
+	peak := res.LossEventsByHour[14]
+	night := res.LossEventsByHour[2]
+	if peak <= night*2 {
+		t.Errorf("no diurnal pattern: peak %d vs night %d", peak, night)
+	}
+}
+
+func TestCampaignDefaults(t *testing.T) {
+	c := Campaign{
+		Targets:     []Target{{Model: loss.None{}}},
+		DurationSec: 3600,
+	}
+	res := c.Run()[0]
+	if res.Rounds != 6 { // default 600s interval
+		t.Errorf("rounds = %d, want 6", res.Rounds)
+	}
+	if res.Sent != 600 { // default 100 packets
+		t.Errorf("sent = %d, want 600", res.Sent)
+	}
+	if res.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestAvgLossPctEmpty(t *testing.T) {
+	var r TargetResult
+	if r.AvgLossPct() != 0 {
+		t.Error("empty result should have 0 loss")
+	}
+}

@@ -1,0 +1,91 @@
+package relay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Fleet is the set of relay servers VNS runs, one per PoP, all sharing
+// one anycast address in the deployment. Anycast routing cannot be
+// reproduced on loopback, so the fleet takes a routing function (the
+// catchment model, vns.Peering.EntryPoP in production use) that maps a
+// client to the PoP whose server its packets would reach.
+type Fleet struct {
+	route func(clientASN uint16) (popCode string, ok bool)
+
+	mu      sync.Mutex
+	servers map[string]*Server
+}
+
+// NewFleet creates an empty fleet with the given catchment function.
+func NewFleet(route func(uint16) (string, bool)) *Fleet {
+	return &Fleet{route: route, servers: make(map[string]*Server)}
+}
+
+// AddPoP starts a relay server for the PoP on addr.
+func (f *Fleet) AddPoP(code, addr string, auth AuthFunc) error {
+	srv, err := NewServer(code, addr, auth)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.servers[code]; dup {
+		srv.Close()
+		return fmt.Errorf("relay: PoP %s already in fleet", code)
+	}
+	f.servers[code] = srv
+	return nil
+}
+
+// ServerFor resolves the anycast catchment for a client AS: the relay
+// server its authentication request reaches.
+func (f *Fleet) ServerFor(clientASN uint16) (*Server, bool) {
+	code, ok := f.route(clientASN)
+	if !ok {
+		return nil, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	srv, ok := f.servers[code]
+	return srv, ok
+}
+
+// PoPs returns the fleet's PoP codes, sorted.
+func (f *Fleet) PoPs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.servers))
+	for code := range f.servers {
+		out = append(out, code)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RequestCounts returns per-PoP request counters — the raw data of the
+// paper's incoming-traffic analysis.
+func (f *Fleet) RequestCounts() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]uint64, len(f.servers))
+	for code, srv := range f.servers {
+		out[code] = srv.Requests()
+	}
+	return out
+}
+
+// Close stops every server.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var first error
+	for _, srv := range f.servers {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	f.servers = make(map[string]*Server)
+	return first
+}

@@ -1,0 +1,105 @@
+package relay
+
+import (
+	"testing"
+	"time"
+)
+
+// regionalRoute maps even ASNs to AMS, odd to SIN, and rejects 0.
+func regionalRoute(asn uint16) (string, bool) {
+	if asn == 0 {
+		return "", false
+	}
+	if asn%2 == 0 {
+		return "AMS", true
+	}
+	return "SIN", true
+}
+
+func testFleet(t *testing.T) *Fleet {
+	t.Helper()
+	f := NewFleet(regionalRoute)
+	t.Cleanup(func() { f.Close() })
+	for _, code := range []string{"AMS", "SIN", "SJS"} {
+		if err := f.AddPoP(code, "127.0.0.1:0", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestFleetRouting(t *testing.T) {
+	f := testFleet(t)
+	srv, ok := f.ServerFor(100)
+	if !ok || srv.PoP != "AMS" {
+		t.Errorf("even ASN -> %v, want AMS", srv)
+	}
+	srv, ok = f.ServerFor(101)
+	if !ok || srv.PoP != "SIN" {
+		t.Errorf("odd ASN -> %v, want SIN", srv)
+	}
+	if _, ok := f.ServerFor(0); ok {
+		t.Error("unroutable client should fail")
+	}
+}
+
+func TestFleetEndToEndCatchments(t *testing.T) {
+	f := testFleet(t)
+	// 20 clients alternate even/odd ASNs; each allocates against the
+	// server its catchment resolves to, over real UDP.
+	for asn := uint16(1); asn <= 20; asn++ {
+		srv, ok := f.ServerFor(asn)
+		if !ok {
+			t.Fatalf("no server for AS%d", asn)
+		}
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		realm, err := c.Allocate("user", 2*time.Second)
+		c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "vns." + srv.PoP
+		if realm != want {
+			t.Errorf("AS%d: realm %q, want %q", asn, realm, want)
+		}
+	}
+	counts := f.RequestCounts()
+	if counts["AMS"] != 10 || counts["SIN"] != 10 {
+		t.Errorf("catchment counts = %v, want 10/10", counts)
+	}
+	if counts["SJS"] != 0 {
+		t.Errorf("SJS got %d requests, want 0", counts["SJS"])
+	}
+}
+
+func TestFleetDuplicatePoP(t *testing.T) {
+	f := testFleet(t)
+	if err := f.AddPoP("AMS", "127.0.0.1:0", nil); err == nil {
+		t.Error("duplicate PoP should fail")
+	}
+}
+
+func TestFleetPoPsSorted(t *testing.T) {
+	f := testFleet(t)
+	pops := f.PoPs()
+	if len(pops) != 3 || pops[0] != "AMS" || pops[1] != "SIN" || pops[2] != "SJS" {
+		t.Errorf("pops = %v", pops)
+	}
+}
+
+func TestFleetCloseIdempotent(t *testing.T) {
+	f := NewFleet(regionalRoute)
+	f.AddPoP("AMS", "127.0.0.1:0", nil)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.PoPs()) != 0 {
+		t.Error("servers not cleared")
+	}
+}

@@ -1,0 +1,31 @@
+package relay
+
+import "testing"
+
+// FuzzUnmarshalSTUN: the STUN decoder must never panic and accepted
+// messages must round-trip.
+func FuzzUnmarshalSTUN(f *testing.F) {
+	m := &STUNMessage{Type: TypeAllocateRequest, Transaction: [12]byte{1, 2, 3},
+		Attrs: []STUNAttr{{Type: AttrUsername, Value: []byte("alice")}}}
+	buf, err := m.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add(make([]byte, 20))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := UnmarshalSTUN(data)
+		if err != nil {
+			return
+		}
+		out, err := msg.Marshal()
+		if err != nil {
+			return
+		}
+		if _, err := UnmarshalSTUN(out); err != nil {
+			t.Fatalf("re-encoded STUN undecodable: %v", err)
+		}
+	})
+}

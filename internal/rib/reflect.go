@@ -1,0 +1,67 @@
+package rib
+
+import (
+	"net/netip"
+
+	"vns/internal/bgp"
+)
+
+// ReflectionDecision says whether and how a route reflector re-advertises
+// a route to a given peer (RFC 4456 §6):
+//
+//   - a route from a non-client is reflected to clients only;
+//   - a route from a client is reflected to all other peers;
+//   - a route is never reflected back to the router it came from.
+func ShouldReflect(fromClient bool, toClient bool, fromPeer, toPeer netip.Addr) bool {
+	if fromPeer == toPeer {
+		return false
+	}
+	if fromClient {
+		return true
+	}
+	return toClient
+}
+
+// Reflect prepares the attributes of a reflected route: it stamps the
+// ORIGINATOR_ID with the originating router (if not already set) and
+// prepends the reflector's cluster ID to the CLUSTER_LIST. The caller
+// must already have checked HasClusterLoop to detect reflection loops.
+func Reflect(attrs bgp.Attrs, originator, clusterID netip.Addr) bgp.Attrs {
+	out := attrs.Clone()
+	if !out.OriginatorID.IsValid() {
+		out.OriginatorID = originator
+	}
+	out.ClusterList = append([]netip.Addr{clusterID}, out.ClusterList...)
+	return out
+}
+
+// ExportToEBGP prepares attributes for advertisement over an external
+// session: prepend the local AS, strip iBGP-only attributes
+// (LOCAL_PREF, ORIGINATOR_ID, CLUSTER_LIST), and rewrite the next hop.
+// It returns false if the route must not be exported (no-export /
+// no-advertise communities).
+func ExportToEBGP(attrs bgp.Attrs, localAS uint16, nextHop netip.Addr) (bgp.Attrs, bool) {
+	if attrs.HasCommunity(bgp.CommunityNoExport) ||
+		attrs.HasCommunity(bgp.CommunityNoAdvertise) {
+		return bgp.Attrs{}, false
+	}
+	out := attrs.PrependAS(localAS)
+	out.HasLocalPref = false
+	out.LocalPref = 0
+	out.OriginatorID = netip.Addr{}
+	out.ClusterList = nil
+	out.HasMED = false
+	out.MED = 0
+	out.NextHop = nextHop
+	return out, true
+}
+
+// ExportToIBGP prepares attributes for advertisement over an internal
+// session: the AS path and next hop are preserved; no-advertise blocks
+// export entirely.
+func ExportToIBGP(attrs bgp.Attrs) (bgp.Attrs, bool) {
+	if attrs.HasCommunity(bgp.CommunityNoAdvertise) {
+		return bgp.Attrs{}, false
+	}
+	return attrs.Clone(), true
+}

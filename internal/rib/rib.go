@@ -1,0 +1,317 @@
+// Package rib implements BGP route storage and selection: routes with
+// their learning context, the full RFC 4271 §9.1 decision process, a
+// Loc-RIB table, and the RFC 4456 route-reflection rules including the
+// best-external behaviour the paper enables to counter hidden routes.
+//
+// Both control planes use this package: the in-process experiment
+// harness (internal/vns) and the wire-level daemon (cmd/vnsd).
+package rib
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"vns/internal/bgp"
+)
+
+// DefaultLocalPref is the local preference assumed for routes that do
+// not carry the attribute (RFC 4271 default practice, and the baseline
+// the geo route reflector's values are "much higher" than).
+const DefaultLocalPref = 100
+
+// Route is one candidate path to a prefix together with the context it
+// was learned in, which the decision process needs.
+type Route struct {
+	Prefix netip.Prefix
+	Attrs  bgp.Attrs
+
+	// EBGP reports whether the route was learned over an external
+	// session.
+	EBGP bool
+	// PeerAS is the neighboring AS the route was learned from (0 for
+	// locally originated routes).
+	PeerAS uint16
+	// PeerID is the BGP identifier of the advertising peer, the final
+	// decision-process tiebreaker.
+	PeerID netip.Addr
+	// PeerAddr breaks ties between parallel sessions to the same router.
+	PeerAddr netip.Addr
+	// IGPMetric is the IGP distance to the route's NEXT_HOP, the
+	// hot-potato tiebreaker.
+	IGPMetric int
+	// FromClient marks routes learned from a route-reflection client.
+	FromClient bool
+}
+
+// LocalPref returns the effective local preference.
+func (r *Route) LocalPref() uint32 {
+	if r.Attrs.HasLocalPref {
+		return r.Attrs.LocalPref
+	}
+	return DefaultLocalPref
+}
+
+// Clone returns a deep copy of the route.
+func (r *Route) Clone() *Route {
+	out := *r
+	out.Attrs = r.Attrs.Clone()
+	return &out
+}
+
+func (r *Route) String() string {
+	kind := "iBGP"
+	if r.EBGP {
+		kind = "eBGP"
+	}
+	return fmt.Sprintf("%v via AS%d (%s, lp=%d, igp=%d)", r.Prefix, r.PeerAS, kind, r.LocalPref(), r.IGPMetric)
+}
+
+// Compare implements the decision process: it returns a negative value
+// if a is preferred over b, positive if b is preferred, and 0 only for
+// routes indistinguishable at every step.
+//
+// Steps, in order (RFC 4271 §9.1.2.2 plus the RFC 4456 refinement):
+//  1. highest LOCAL_PREF
+//  2. shortest AS path
+//  3. lowest ORIGIN
+//  4. lowest MED, compared only between routes from the same
+//     neighboring AS (missing MED treated as 0 per common default)
+//  5. eBGP preferred over iBGP
+//  6. lowest IGP metric to the NEXT_HOP (hot potato)
+//  7. shortest CLUSTER_LIST (RFC 4456 §9)
+//  8. lowest ORIGINATOR_ID / router ID
+//  9. lowest peer address
+func Compare(a, b *Route) int {
+	if la, lb := a.LocalPref(), b.LocalPref(); la != lb {
+		if la > lb {
+			return -1
+		}
+		return 1
+	}
+	if pa, pb := a.Attrs.ASPathLen(), b.Attrs.ASPathLen(); pa != pb {
+		if pa < pb {
+			return -1
+		}
+		return 1
+	}
+	if oa, ob := a.Attrs.Origin, b.Attrs.Origin; oa != ob {
+		if oa < ob {
+			return -1
+		}
+		return 1
+	}
+	if a.PeerAS == b.PeerAS {
+		ma, mb := a.med(), b.med()
+		if ma != mb {
+			if ma < mb {
+				return -1
+			}
+			return 1
+		}
+	}
+	if a.EBGP != b.EBGP {
+		if a.EBGP {
+			return -1
+		}
+		return 1
+	}
+	if a.IGPMetric != b.IGPMetric {
+		if a.IGPMetric < b.IGPMetric {
+			return -1
+		}
+		return 1
+	}
+	if ca, cb := len(a.Attrs.ClusterList), len(b.Attrs.ClusterList); ca != cb {
+		if ca < cb {
+			return -1
+		}
+		return 1
+	}
+	ia, ib := a.tieBreakID(), b.tieBreakID()
+	if ia != ib {
+		if ia.Less(ib) {
+			return -1
+		}
+		return 1
+	}
+	if a.PeerAddr != b.PeerAddr {
+		if a.PeerAddr.Less(b.PeerAddr) {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+func (r *Route) med() uint32 {
+	if r.Attrs.HasMED {
+		return r.Attrs.MED
+	}
+	return 0
+}
+
+// tieBreakID returns the ORIGINATOR_ID when present, otherwise the peer
+// router ID (RFC 4456 §9).
+func (r *Route) tieBreakID() netip.Addr {
+	if r.Attrs.OriginatorID.IsValid() {
+		return r.Attrs.OriginatorID
+	}
+	return r.PeerID
+}
+
+// Best returns the preferred route among candidates, or nil for an empty
+// set. Ties (Compare == 0) resolve to the earliest candidate, which
+// makes selection deterministic for equal routes.
+func Best(routes []*Route) *Route {
+	var best *Route
+	for _, r := range routes {
+		if r == nil {
+			continue
+		}
+		if best == nil || Compare(r, best) < 0 {
+			best = r
+		}
+	}
+	return best
+}
+
+// Table is a router's Loc-RIB: all candidate routes per prefix plus the
+// current best path. It is not safe for concurrent use.
+type Table struct {
+	entries map[netip.Prefix]*entry
+}
+
+type entry struct {
+	routes []*Route // one per (PeerID, PeerAddr)
+	best   *Route
+}
+
+// NewTable returns an empty Loc-RIB.
+func NewTable() *Table {
+	return &Table{entries: make(map[netip.Prefix]*entry)}
+}
+
+// Len returns the number of prefixes with at least one candidate.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Upsert installs or replaces the candidate from r's peer for r's
+// prefix, reruns selection, and reports whether the best path changed.
+func (t *Table) Upsert(r *Route) (bestChanged bool) {
+	e := t.entries[r.Prefix]
+	if e == nil {
+		e = &entry{}
+		t.entries[r.Prefix] = e
+	}
+	replaced := false
+	for i, existing := range e.routes {
+		if existing.PeerID == r.PeerID && existing.PeerAddr == r.PeerAddr {
+			e.routes[i] = r
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		e.routes = append(e.routes, r)
+	}
+	return e.reselect()
+}
+
+// Withdraw removes the candidate learned from the given peer and reports
+// whether the best path changed. Removing the last candidate deletes the
+// prefix.
+func (t *Table) Withdraw(prefix netip.Prefix, peerID, peerAddr netip.Addr) (bestChanged bool) {
+	e := t.entries[prefix]
+	if e == nil {
+		return false
+	}
+	kept := e.routes[:0]
+	removed := false
+	for _, r := range e.routes {
+		if r.PeerID == peerID && r.PeerAddr == peerAddr {
+			removed = true
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if !removed {
+		return false
+	}
+	e.routes = kept
+	if len(e.routes) == 0 {
+		changed := e.best != nil
+		delete(t.entries, prefix)
+		return changed
+	}
+	return e.reselect()
+}
+
+func (e *entry) reselect() bool {
+	nb := Best(e.routes)
+	changed := nb != e.best
+	e.best = nb
+	return changed
+}
+
+// Best returns the best route for prefix, or nil.
+func (t *Table) Best(prefix netip.Prefix) *Route {
+	if e := t.entries[prefix]; e != nil {
+		return e.best
+	}
+	return nil
+}
+
+// Candidates returns all candidate routes for prefix.
+func (t *Table) Candidates(prefix netip.Prefix) []*Route {
+	if e := t.entries[prefix]; e != nil {
+		out := make([]*Route, len(e.routes))
+		copy(out, e.routes)
+		return out
+	}
+	return nil
+}
+
+// BestExternal returns the best route among the prefix's eBGP-learned
+// candidates, or nil. This is the route a border router advertises into
+// iBGP under the best-external feature even when its overall best is an
+// iBGP route, which is how the paper mitigates hidden routes behind the
+// geo route reflector.
+func (t *Table) BestExternal(prefix netip.Prefix) *Route {
+	e := t.entries[prefix]
+	if e == nil {
+		return nil
+	}
+	var ext []*Route
+	for _, r := range e.routes {
+		if r.EBGP {
+			ext = append(ext, r)
+		}
+	}
+	return Best(ext)
+}
+
+// Prefixes returns all prefixes in deterministic (sorted) order.
+func (t *Table) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(t.entries))
+	for p := range t.entries {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Addr().Compare(out[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+// WalkBest visits the best route of every prefix in sorted order.
+func (t *Table) WalkBest(fn func(*Route) bool) {
+	for _, p := range t.Prefixes() {
+		if b := t.Best(p); b != nil {
+			if !fn(b) {
+				return
+			}
+		}
+	}
+}

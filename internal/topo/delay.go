@@ -1,0 +1,116 @@
+package topo
+
+import (
+	"vns/internal/geo"
+	"vns/internal/loss"
+)
+
+// DelayModel turns geography and AS-path structure into round-trip
+// times. It models what the paper's probing measures: the minimum RTT
+// over a handful of pings, i.e. propagation plus per-hop forwarding cost
+// with only residual noise.
+//
+// Three structural effects the paper identifies are modeled explicitly:
+//
+//   - trans-Pacific AP networks: prefixes of AP ASes that haul traffic
+//     over their own capacity to the US are reached via a US-West
+//     waypoint from everywhere outside North America;
+//   - poor AP↔Russia connectivity: probes from AP/OC vantages to Russian
+//     destinations hairpin through a European hub, producing the large
+//     RTTs behind Figure 3's outlier clusters;
+//   - region-pair path stretch: inter-region transit paths are longer
+//     than the great circle by calibrated factors.
+type DelayModel struct {
+	topo *Topology
+	rng  *loss.RNG
+	// USWest is the landing waypoint for trans-Pacific AS paths.
+	USWest geo.Place
+	// EUHub is the hairpin waypoint for AP/OC probes to Russia.
+	EUHub geo.Place
+	// PerHopMs is the forwarding cost added per AS hop.
+	PerHopMs float64
+}
+
+// NewDelayModel returns the calibrated model used by the experiments.
+func NewDelayModel(t *Topology, seed uint64) *DelayModel {
+	return &DelayModel{
+		topo:     t,
+		rng:      loss.NewRNG(seed),
+		USWest:   geo.MustLookup("LosAngeles"),
+		EUHub:    geo.MustLookup("Frankfurt"),
+		PerHopMs: 0.7,
+	}
+}
+
+// regionStretch is the multiplicative path stretch over the great
+// circle for each (vantage region, destination region) pair. Values are
+// calibrated so intra-region RTTs look like well-peered domestic paths
+// and AP-involved inter-region paths look like the congested, indirect
+// transit the paper measures.
+func regionStretch(from, to geo.Region) float64 {
+	from, to = geo.PoPRegion(from), geo.PoPRegion(to)
+	if from == to {
+		return 1.20
+	}
+	pair := func(a, b geo.Region) bool {
+		return (from == a && to == b) || (from == b && to == a)
+	}
+	switch {
+	case pair(geo.RegionEU, geo.RegionNA):
+		return 1.25
+	case pair(geo.RegionNA, geo.RegionAP):
+		return 1.35
+	case pair(geo.RegionEU, geo.RegionAP):
+		return 1.55
+	case pair(geo.RegionNA, geo.RegionOC), pair(geo.RegionAP, geo.RegionOC):
+		return 1.35
+	case pair(geo.RegionEU, geo.RegionOC):
+		return 1.50
+	default:
+		return 1.40
+	}
+}
+
+// RTT returns the modeled minimum round-trip time in milliseconds from a
+// vantage at `from` to destination prefix dst, over a transit path of
+// asHops AS-level hops. extraWaypoints force additional detours before
+// any structural waypoints (the VNS layer uses this for the London
+// upstream hairpin). The result is deterministic for a given
+// (model seed, vantage, destination).
+func (m *DelayModel) RTT(from geo.Place, dst *PrefixInfo, asHops int, extraWaypoints ...geo.LatLon) float64 {
+	waypoints := make([]geo.LatLon, 0, 5)
+	waypoints = append(waypoints, from.Pos)
+	waypoints = append(waypoints, extraWaypoints...)
+
+	if origin := m.topo.AS(dst.Origin); origin != nil && origin.TransPacific &&
+		geo.PoPRegion(from.Region) != geo.RegionNA {
+		waypoints = append(waypoints, m.USWest.Pos)
+	}
+	if dst.Country == "RU" && (geo.PoPRegion(from.Region) == geo.RegionAP || from.Region == geo.RegionOC) {
+		waypoints = append(waypoints, m.EUHub.Pos)
+	}
+	waypoints = append(waypoints, dst.Loc)
+
+	var km float64
+	for i := 1; i < len(waypoints); i++ {
+		km += geo.DistanceKm(waypoints[i-1], waypoints[i])
+	}
+	rtt := km / geo.KmPerMsRTT * regionStretch(from.Region, dst.Region)
+	rtt += float64(asHops) * m.PerHopMs
+	// Residual noise: deterministic per (vantage, destination) pair so a
+	// probe's min-RTT is stable across rounds, as min-of-5 pings is.
+	noise := m.pairRNG(from, dst).Float64() * 6
+	return rtt + noise
+}
+
+func (m *DelayModel) pairRNG(from geo.Place, dst *PrefixInfo) *loss.RNG {
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(from.Name) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	addr := dst.Prefix.Addr().As4()
+	for _, c := range addr {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return m.rng.Fork(h)
+}

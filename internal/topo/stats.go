@@ -1,0 +1,79 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vns/internal/geo"
+)
+
+// Stats summarizes a generated topology, for sanity checks and the
+// daemon's startup banner.
+type Stats struct {
+	ASes     int
+	Links    int
+	Prefixes int
+	// ByType counts ASes per business type.
+	ByType map[ASType]int
+	// ByRegion counts ASes per home region.
+	ByRegion map[geo.Region]int
+	// MaxConeSize is the largest customer cone (an LTP's).
+	MaxConeSize int
+	// MeanDegree is the average number of neighbors per AS.
+	MeanDegree float64
+	// TransPacific counts AP ASes with own trans-Pacific transit.
+	TransPacific int
+}
+
+// ComputeStats walks the topology once.
+func (t *Topology) ComputeStats() Stats {
+	s := Stats{
+		ASes:     len(t.asns),
+		Links:    t.NumLinks(),
+		Prefixes: len(t.Prefixes),
+		ByType:   make(map[ASType]int),
+		ByRegion: make(map[geo.Region]int),
+	}
+	degreeSum := 0
+	for _, asn := range t.asns {
+		a := t.ASes[asn]
+		s.ByType[a.Type]++
+		s.ByRegion[a.Region]++
+		degreeSum += len(a.Providers) + len(a.Customers) + len(a.Peers)
+		if a.TransPacific {
+			s.TransPacific++
+		}
+		if a.Type == LTP {
+			if c := t.CustomerConeSize(asn); c > s.MaxConeSize {
+				s.MaxConeSize = c
+			}
+		}
+	}
+	if s.ASes > 0 {
+		s.MeanDegree = float64(degreeSum) / float64(s.ASes)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d ASes, %d links (mean degree %.1f), %d prefixes\n",
+		s.ASes, s.Links, s.MeanDegree, s.Prefixes)
+	var types []string
+	for _, typ := range ASTypes() {
+		types = append(types, fmt.Sprintf("%v=%d", typ, s.ByType[typ]))
+	}
+	fmt.Fprintf(&b, "types: %s\n", strings.Join(types, " "))
+	var regions []string
+	for _, r := range geo.Regions() {
+		if s.ByRegion[r] > 0 {
+			regions = append(regions, fmt.Sprintf("%v=%d", r, s.ByRegion[r]))
+		}
+	}
+	sort.Strings(regions)
+	fmt.Fprintf(&b, "regions: %s\n", strings.Join(regions, " "))
+	fmt.Fprintf(&b, "largest customer cone: %d ASes; trans-Pacific AP ASes: %d",
+		s.MaxConeSize, s.TransPacific)
+	return b.String()
+}

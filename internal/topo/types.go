@@ -1,0 +1,167 @@
+// Package topo builds and queries the synthetic Internet that stands in
+// for the live one: an AS-level topology with business relationships
+// (customer/provider/peer), AS types per the Dhamdhere–Dovrolis
+// taxonomy the paper adopts (LTP, STP, CAHP, EC), multi-site geography,
+// prefix origination with ground-truth locations, and Gao–Rexford
+// (valley-free) policy routing.
+//
+// The generator is fully deterministic given a seed, so every experiment
+// is reproducible. Scale is configurable: tests run a small Internet,
+// benchmarks a larger one.
+package topo
+
+import (
+	"net/netip"
+
+	"vns/internal/geo"
+)
+
+// ASType is the business-type taxonomy from Dhamdhere & Dovrolis, "Ten
+// years in the evolution of the Internet ecosystem" (IMC 2008), used by
+// the paper's last-mile analysis.
+type ASType uint8
+
+const (
+	// LTP is a Large Transit Provider (tier-1-like, global footprint).
+	LTP ASType = iota
+	// STP is a Small Transit Provider (regional transit).
+	STP
+	// CAHP is a Content/Access/Hosting Provider (serves residential
+	// users and hosts content; the congested edge in the paper's data).
+	CAHP
+	// EC is an Enterprise Customer (stub network).
+	EC
+)
+
+var asTypeNames = [...]string{"LTP", "STP", "CAHP", "EC"}
+
+func (t ASType) String() string {
+	if int(t) < len(asTypeNames) {
+		return asTypeNames[t]
+	}
+	return "AS?"
+}
+
+// ASTypes lists all types in display order.
+func ASTypes() []ASType { return []ASType{LTP, STP, CAHP, EC} }
+
+// Rel is the business relationship of a link, viewed from one side.
+type Rel uint8
+
+const (
+	// RelCustomer: the neighbor is my customer (I provide transit).
+	RelCustomer Rel = iota
+	// RelProvider: the neighbor is my provider (I buy transit).
+	RelProvider
+	// RelPeer: settlement-free peering.
+	RelPeer
+)
+
+func (r Rel) String() string {
+	switch r {
+	case RelCustomer:
+		return "customer"
+	case RelProvider:
+		return "provider"
+	case RelPeer:
+		return "peer"
+	default:
+		return "rel?"
+	}
+}
+
+// AS is one autonomous system.
+type AS struct {
+	ASN    uint16
+	Type   ASType
+	Region geo.Region
+	// Home is the AS's primary location; prefixes are sited near it.
+	Home geo.Place
+	// Sites are the cities where the AS has infrastructure. LTPs have
+	// global site sets; stubs have just their home.
+	Sites []geo.Place
+	// Providers, Customers, Peers hold neighbor ASNs by relationship.
+	Providers []uint16
+	Customers []uint16
+	Peers     []uint16
+	// Prefixes originated by this AS.
+	Prefixes []netip.Prefix
+	// TransPacific marks AP-region ASes that haul their own traffic to
+	// the US over trans-Pacific capacity, the cause the paper identifies
+	// for AP prefixes being delay-closer to US PoPs.
+	TransPacific bool
+}
+
+// Neighbors returns all neighbor ASNs with their relationship.
+func (a *AS) Neighbors() []Neighbor {
+	out := make([]Neighbor, 0, len(a.Providers)+len(a.Customers)+len(a.Peers))
+	for _, n := range a.Providers {
+		out = append(out, Neighbor{ASN: n, Rel: RelProvider})
+	}
+	for _, n := range a.Customers {
+		out = append(out, Neighbor{ASN: n, Rel: RelCustomer})
+	}
+	for _, n := range a.Peers {
+		out = append(out, Neighbor{ASN: n, Rel: RelPeer})
+	}
+	return out
+}
+
+// Neighbor pairs an ASN with the relationship toward it.
+type Neighbor struct {
+	ASN uint16
+	Rel Rel
+}
+
+// PrefixInfo is the ground truth about one originated prefix.
+type PrefixInfo struct {
+	Prefix  netip.Prefix
+	Origin  uint16 // originating ASN
+	Loc     geo.LatLon
+	Country string
+	Region  geo.Region
+}
+
+// Topology is the generated Internet.
+type Topology struct {
+	// ASes maps ASN to the AS. Iteration must use ASNs() for
+	// determinism.
+	ASes map[uint16]*AS
+	// Prefixes lists every originated prefix with ground truth, in
+	// allocation order.
+	Prefixes []PrefixInfo
+
+	prefixByAddr map[netip.Prefix]*PrefixInfo
+	asns         []uint16
+}
+
+// ASNs returns all ASNs in ascending order.
+func (t *Topology) ASNs() []uint16 { return t.asns }
+
+// AS returns the AS with the given number, or nil.
+func (t *Topology) AS(asn uint16) *AS { return t.ASes[asn] }
+
+// PrefixInfoFor returns ground truth for an originated prefix.
+func (t *Topology) PrefixInfoFor(p netip.Prefix) (*PrefixInfo, bool) {
+	pi, ok := t.prefixByAddr[p]
+	return pi, ok
+}
+
+// NumLinks returns the number of undirected relationship edges.
+func (t *Topology) NumLinks() int {
+	n := 0
+	for _, a := range t.ASes {
+		n += len(a.Customers) + len(a.Peers)
+	}
+	// Peer edges are stored on both sides; customer edges only counted
+	// from the provider side.
+	return n - t.numPeerEdges()/2
+}
+
+func (t *Topology) numPeerEdges() int {
+	n := 0
+	for _, a := range t.ASes {
+		n += len(a.Peers)
+	}
+	return n
+}

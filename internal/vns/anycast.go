@@ -1,0 +1,61 @@
+package vns
+
+import (
+	"vns/internal/geo"
+)
+
+// EntryPoP models where VNS receives traffic a client AS sends to the
+// anycast address of its TURN relays. The deployment shapes incoming
+// catchments with geographically limited transit, traffic engineering,
+// and BGP communities; the resulting behaviour is:
+//
+//   - if the client sits in the customer cone of a VNS peer, the peer
+//     delivers at the shared IXP nearest the client (peer routes are
+//     shorter and preferred by the client's own policy);
+//   - otherwise traffic arrives through an upstream, which hot-potatoes
+//     it into VNS at its session closest to the client.
+func (pr *Peering) EntryPoP(client uint16) *PoP {
+	a := pr.Topo.AS(client)
+	if a == nil {
+		return nil
+	}
+	// Peer-cone delivery.
+	var best *PoP
+	bestDist := 1e18
+	for _, nb := range pr.Neighbors {
+		if nb.Kind != Peer || !nb.View.InCustomerCone(client) {
+			continue
+		}
+		for _, s := range nb.Sessions {
+			if d := geo.DistanceKm(a.Home.Pos, s.PoP.Place.Pos); d < bestDist {
+				bestDist, best = d, s.PoP
+			}
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// Upstream delivery: pick the upstream with the best route to the
+	// client (fewest hops: the one the client's route to VNS most likely
+	// traverses), then its session nearest the client.
+	bestHops := 1 << 30
+	var viaUp *Neighbor
+	for _, nb := range pr.Neighbors {
+		if nb.Kind != Upstream {
+			continue
+		}
+		if _, hops, ok := nb.View.Best(client); ok && hops < bestHops {
+			bestHops, viaUp = hops, nb
+		}
+	}
+	if viaUp == nil {
+		return nil
+	}
+	bestDist = 1e18
+	for _, s := range viaUp.Sessions {
+		if d := geo.DistanceKm(a.Home.Pos, s.PoP.Place.Pos); d < bestDist {
+			bestDist, best = d, s.PoP
+		}
+	}
+	return best
+}

@@ -1,0 +1,72 @@
+package vns
+
+import (
+	"vns/internal/geo"
+	"vns/internal/loss"
+	"vns/internal/netsim"
+)
+
+// This file builds packet-level (netsim) paths for VNS routes, so media
+// sessions can run through the full discrete-event simulator — queueing,
+// serialization, jitter and all — instead of the statistical fast path.
+// The experiments use the fast path for scale and the emulated path to
+// validate it (TestEmulationAgreesWithFastPath).
+
+// EmulateOptions tunes the constructed path.
+type EmulateOptions struct {
+	// BandwidthMbps per L2 link; the overlay is well-provisioned, so
+	// the default of 1000 leaves media traffic far from saturation.
+	BandwidthMbps float64
+	// JitterMsSigma models residual cross-traffic on multiplexed
+	// long-haul links; intra-cluster links get a tenth of it.
+	JitterMsSigma float64
+	// LongHaulLoss attaches the residual loss process to long-haul
+	// crossings; nil means lossless links.
+	LongHaulLoss func(rng *loss.RNG) loss.Model
+	// Seed drives the per-link randomness.
+	Seed uint64
+}
+
+func (o EmulateOptions) withDefaults() EmulateOptions {
+	if o.BandwidthMbps == 0 {
+		o.BandwidthMbps = 1000
+	}
+	if o.JitterMsSigma == 0 {
+		o.JitterMsSigma = 0.5
+	}
+	return o
+}
+
+// EmulatedPath builds a netsim path following the internal L2 route from
+// one PoP to another: one simulated link per L2 hop, with propagation
+// delay from great-circle geometry.
+func (n *Network) EmulatedPath(from, to *PoP, opts EmulateOptions) *netsim.Path {
+	opts = opts.withDefaults()
+	rng := loss.NewRNG(opts.Seed ^ 0xE1117)
+	pops := n.InternalPath(from, to)
+	var links []*netsim.Link
+	for i := 1; i < len(pops); i++ {
+		a, b := pops[i-1], pops[i]
+		dist := geo.DistanceKm(a.Place.Pos, b.Place.Pos)
+		var lm loss.Model
+		jitter := opts.JitterMsSigma / 10
+		if dist >= 7000 {
+			jitter = opts.JitterMsSigma
+			if opts.LongHaulLoss != nil {
+				lm = opts.LongHaulLoss(rng.Fork(uint64(i)))
+			}
+		}
+		// geo.KmPerMsRTT converts km to round-trip ms; a link's
+		// propagation delay is one way, i.e. half of that.
+		link := netsim.NewLink(
+			a.Code+"-"+b.Code,
+			dist/geo.KmPerMsRTT/2,
+			opts.BandwidthMbps,
+			lm,
+			rng.Fork(uint64(i)+1000),
+		)
+		link.JitterMsSigma = jitter
+		links = append(links, link)
+	}
+	return netsim.NewPath(links...)
+}

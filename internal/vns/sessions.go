@@ -1,0 +1,387 @@
+package vns
+
+import (
+	"net/netip"
+	"sort"
+
+	"vns/internal/bgp"
+	"vns/internal/core"
+	"vns/internal/geo"
+	"vns/internal/loss"
+	"vns/internal/rib"
+	"vns/internal/topo"
+)
+
+// NeighborKind distinguishes transit from settlement-free peering.
+type NeighborKind uint8
+
+const (
+	// Upstream is a transit provider VNS buys from.
+	Upstream NeighborKind = iota
+	// Peer is a settlement-free peer at an IXP.
+	Peer
+)
+
+func (k NeighborKind) String() string {
+	if k == Upstream {
+		return "upstream"
+	}
+	return "peer"
+}
+
+// Neighbor is one external AS VNS has sessions with.
+type Neighbor struct {
+	// Index is the 1-based display ID of Figure 5: indexes 1..NumUpstreams
+	// are upstreams (1 = the NA-heavy tier-1), the rest peers.
+	Index    int
+	ASN      uint16
+	Kind     NeighborKind
+	Sessions []*Session
+	// View holds this neighbor's valley-free routes over the synthetic
+	// Internet, which determine what it can export to VNS.
+	View *topo.RouteView
+}
+
+// Session is one eBGP session between a VNS egress router and a
+// neighbor at a PoP.
+type Session struct {
+	Neighbor *Neighbor
+	PoP      *PoP
+	// Router is the VNS-side egress router ID.
+	Router netip.Addr
+	// peerAddr uniquely identifies the remote end for tie-breaking.
+	peerAddr netip.Addr
+}
+
+// ConnectConfig controls how VNS attaches to the synthetic Internet.
+type ConnectConfig struct {
+	// NumUpstreams is the number of transit providers (default 7, per
+	// Figure 5).
+	NumUpstreams int
+	// NumPeers is the number of settlement-free peers. VNS peers openly
+	// with any interested AS; the default of 26 gives the deployment's
+	// open-peering posture while Figure 5 displays the top 20 neighbors
+	// (7 upstreams + 13 peers) as the paper does.
+	NumPeers int
+	// Seed drives tie-breaking randomness in neighbor selection.
+	Seed uint64
+}
+
+func (c ConnectConfig) withDefaults() ConnectConfig {
+	if c.NumUpstreams == 0 {
+		c.NumUpstreams = 7
+	}
+	if c.NumPeers == 0 {
+		c.NumPeers = 26
+	}
+	return c
+}
+
+// Peering is the VNS control plane attached to a synthetic Internet:
+// the neighbor set, all eBGP sessions, and the route candidates they
+// yield.
+type Peering struct {
+	Net       *Network
+	Topo      *topo.Topology
+	Neighbors []*Neighbor
+
+	candCache map[uint16][]Candidate
+}
+
+// Connect selects upstreams and peers from the topology and establishes
+// sessions following the deployment's placement policy: upstreams where
+// they have regional presence (with guaranteed transit coverage at every
+// PoP), peers at every PoP in their home region.
+func Connect(n *Network, t *topo.Topology, cfg ConnectConfig) *Peering {
+	cfg = cfg.withDefaults()
+	rng := loss.NewRNG(cfg.Seed ^ 0xa5a5)
+
+	pr := &Peering{Net: n, Topo: t, candCache: make(map[uint16][]Candidate)}
+
+	// Upstream selection: LTPs ranked by North-American presence so
+	// neighbor 1 is the big US-based tier-1 (the paper's upstream 1 and
+	// London's main upstream).
+	var ltps []*topo.AS
+	for _, asn := range t.ASNs() {
+		if a := t.AS(asn); a.Type == topo.LTP {
+			ltps = append(ltps, a)
+		}
+	}
+	sort.SliceStable(ltps, func(i, j int) bool {
+		ni, nj := naSites(ltps[i]), naSites(ltps[j])
+		if ni != nj {
+			return ni > nj
+		}
+		return ltps[i].ASN < ltps[j].ASN
+	})
+	if len(ltps) > cfg.NumUpstreams {
+		ltps = ltps[:cfg.NumUpstreams]
+	}
+	for i, a := range ltps {
+		nb := &Neighbor{Index: i + 1, ASN: a.ASN, Kind: Upstream, View: t.RoutesFrom(a.ASN)}
+		pr.Neighbors = append(pr.Neighbors, nb)
+	}
+
+	// Peer selection: transit/content networks homed in PoP regions.
+	// VNS peers openly with any interested AS, so the established peers
+	// skew toward the networks worth peering with: large customer cones
+	// (they absorb the most traffic at the IXP). Rank by cone size.
+	type scored struct {
+		a    *topo.AS
+		cone float64
+	}
+	var peerPool []scored
+	for _, asn := range t.ASNs() {
+		a := t.AS(asn)
+		if a.Type != topo.STP && a.Type != topo.CAHP {
+			continue
+		}
+		if len(n.PoPsInRegion(geo.PoPRegion(a.Region))) == 0 {
+			continue
+		}
+		peerPool = append(peerPool, scored{a, float64(t.CustomerConeSize(asn)) + rng.Float64()})
+	}
+	sort.Slice(peerPool, func(i, j int) bool { return peerPool[i].cone > peerPool[j].cone })
+	for i := 0; i < cfg.NumPeers && i < len(peerPool); i++ {
+		a := peerPool[i].a
+		nb := &Neighbor{Index: cfg.NumUpstreams + i + 1, ASN: a.ASN, Kind: Peer, View: t.RoutesFrom(a.ASN)}
+		pr.Neighbors = append(pr.Neighbors, nb)
+	}
+
+	pr.placeSessions(cfg)
+	return pr
+}
+
+func naSites(a *topo.AS) int {
+	c := 0
+	for _, s := range a.Sites {
+		if geo.PoPRegion(s.Region) == geo.RegionNA {
+			c++
+		}
+	}
+	return c
+}
+
+// placeSessions establishes eBGP sessions per the deployment policy.
+func (pr *Peering) placeSessions(cfg ConnectConfig) {
+	n := pr.Net
+	for _, nb := range pr.Neighbors {
+		a := pr.Topo.AS(nb.ASN)
+		switch nb.Kind {
+		case Upstream:
+			// Session at every PoP in a region where the upstream has a
+			// site. Upstream 1 additionally serves London as its main
+			// upstream, the configuration behind the Figure 11 anomaly.
+			regions := map[geo.Region]bool{}
+			for _, s := range a.Sites {
+				regions[geo.PoPRegion(s.Region)] = true
+			}
+			for _, p := range n.PoPs {
+				if regions[p.Region()] || (nb.Index == 1 && p.Code == "LON") {
+					pr.addSession(nb, p)
+				}
+			}
+		case Peer:
+			// "VNS usually peers with networks close to their geographic
+			// location" and establishes peering at all shared sites.
+			for _, p := range n.PoPsInRegion(geo.PoPRegion(a.Region)) {
+				pr.addSession(nb, p)
+			}
+		}
+	}
+	// Transit coverage: every PoP needs at least two upstream sessions
+	// so probes can always exit locally.
+	for _, p := range n.PoPs {
+		ups := 0
+		for _, nb := range pr.Neighbors {
+			if nb.Kind != Upstream {
+				continue
+			}
+			for _, s := range nb.Sessions {
+				if s.PoP == p {
+					ups++
+				}
+			}
+		}
+		for i := 0; ups < 2 && i < len(pr.Neighbors); i++ {
+			nb := pr.Neighbors[i]
+			if nb.Kind != Upstream || pr.hasSession(nb, p) {
+				continue
+			}
+			pr.addSession(nb, p)
+			ups++
+		}
+	}
+}
+
+func (pr *Peering) addSession(nb *Neighbor, p *PoP) {
+	// Spread sessions across the PoP's routers.
+	router := p.Routers[len(nb.Sessions)%len(p.Routers)]
+	s := &Session{
+		Neighbor: nb,
+		PoP:      p,
+		Router:   router,
+		peerAddr: netip.AddrFrom4([4]byte{172, byte(nb.Index), byte(p.ID), 1}),
+	}
+	nb.Sessions = append(nb.Sessions, s)
+}
+
+func (pr *Peering) hasSession(nb *Neighbor, p *PoP) bool {
+	for _, s := range nb.Sessions {
+		if s.PoP == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Sessions returns all sessions in deterministic order.
+func (pr *Peering) Sessions() []*Session {
+	var out []*Session
+	for _, nb := range pr.Neighbors {
+		out = append(out, nb.Sessions...)
+	}
+	return out
+}
+
+// Candidate is one route offer for a destination: a session plus the
+// AS-path length of the route the neighbor exports there.
+type Candidate struct {
+	Session *Session
+	// PathLen is the received AS_PATH length (neighbor included).
+	PathLen int
+}
+
+// Candidates returns the route offers for a destination origin AS,
+// applying Gao–Rexford export policy: upstreams export their best route
+// of any class, peers only customer routes. Results are cached per
+// origin AS (all prefixes of an AS share them).
+func (pr *Peering) Candidates(origin uint16) []Candidate {
+	if c, ok := pr.candCache[origin]; ok {
+		return c
+	}
+	var out []Candidate
+	for _, nb := range pr.Neighbors {
+		var hops int
+		var ok bool
+		switch nb.Kind {
+		case Upstream:
+			hops, ok = nb.View.ExportToCustomer(origin)
+		case Peer:
+			hops, ok = nb.View.ExportToPeer(origin)
+		}
+		if !ok {
+			continue
+		}
+		for _, s := range nb.Sessions {
+			out = append(out, Candidate{Session: s, PathLen: hops + 1})
+		}
+	}
+	pr.candCache[origin] = out
+	return out
+}
+
+// dummyPath backs the synthetic AS_PATH segments used for selection; the
+// decision process only reads path length, so candidates share it.
+var dummyPath = func() []uint16 {
+	p := make([]uint16, 64)
+	for i := range p {
+		p[i] = 64000 + uint16(i)
+	}
+	return p
+}()
+
+// candidateRoute converts a candidate to a rib.Route as seen from the
+// vantage PoP. lp == 0 means no LOCAL_PREF attribute (pre-geo routing).
+// The AS_PATH is synthetic (only its length enters the decision
+// process) and shares a read-only backing array across candidates.
+func (pr *Peering) candidateRoute(vantage *PoP, c Candidate, prefix netip.Prefix, lp uint32) *rib.Route {
+	pathLen := c.PathLen
+	if pathLen > len(dummyPath) {
+		pathLen = len(dummyPath)
+	}
+	r := &rib.Route{
+		Prefix:   prefix,
+		EBGP:     c.Session.PoP == vantage,
+		PeerAS:   c.Session.Neighbor.ASN,
+		PeerID:   c.Session.Router,
+		PeerAddr: c.Session.peerAddr,
+		// The IGP metric is the microsecond-scale internal delay; the
+		// PoP ID breaks exact ties deterministically.
+		IGPMetric: int(pr.Net.IGPMetricMs(vantage, c.Session.PoP)*1000) + c.Session.PoP.ID,
+	}
+	if pathLen > 0 {
+		r.Attrs.ASPath = []bgp.ASPathSegment{{ASNs: dummyPath[:pathLen]}}
+	}
+	if lp > 0 {
+		r.Attrs.LocalPref = lp
+		r.Attrs.HasLocalPref = true
+	}
+	return r
+}
+
+// SelectHotPotato runs the pre-geo-routing decision process from the
+// vantage PoP: default local preference everywhere, so selection falls
+// to AS-path length, then eBGP-over-iBGP, then the IGP metric — classic
+// hot-potato. It returns the winning candidate, or ok=false when the
+// destination is unreachable.
+func (pr *Peering) SelectHotPotato(vantage *PoP, cands []Candidate, prefix netip.Prefix) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	best := -1
+	var bestRoute *rib.Route
+	for i, c := range cands {
+		r := pr.candidateRoute(vantage, c, prefix, 0)
+		if bestRoute == nil || rib.Compare(r, bestRoute) < 0 {
+			bestRoute, best = r, i
+		}
+	}
+	return cands[best], true
+}
+
+// SelectGeo runs the post-geo-routing decision process: the GeoRR has
+// assigned each candidate a distance-derived LOCAL_PREF, which dominates
+// every later step, so the geographically closest egress (per the GeoIP
+// database) wins network-wide. The vantage only matters for tie-breaks.
+func (pr *Peering) SelectGeo(rr *core.GeoRR, vantage *PoP, cands []Candidate, prefix netip.Prefix) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	best := -1
+	var bestRoute *rib.Route
+	for i, c := range cands {
+		dec := rr.Assign(c.Session.Router, prefix)
+		r := pr.candidateRoute(vantage, c, prefix, dec.LocalPref)
+		if bestRoute == nil || rib.Compare(r, bestRoute) < 0 {
+			bestRoute, best = r, i
+		}
+	}
+	return cands[best], true
+}
+
+// SelectFirstArrival models the hidden-route failure mode the paper
+// mitigates with BGP best-external: without it, the first route the
+// reflector learns gets the high geo preference and suppresses every
+// alternative, so the egress is decided by arrival order, not
+// geography. Arrival order is a deterministic hash of (prefix, session).
+func (pr *Peering) SelectFirstArrival(cands []Candidate, prefix netip.Prefix) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	bestHash := uint64(0)
+	best := -1
+	addr := prefix.Addr().As4()
+	for i, c := range cands {
+		h := uint64(14695981039346656037)
+		for _, b := range addr {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		h = (h ^ uint64(c.Session.Neighbor.Index)) * 1099511628211
+		h = (h ^ uint64(c.Session.PoP.ID)) * 1099511628211
+		if best == -1 || h < bestHash {
+			bestHash, best = h, i
+		}
+	}
+	return cands[best], true
+}

@@ -1,0 +1,129 @@
+package vns
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"vns/internal/core"
+	"vns/internal/geo"
+	"vns/internal/geoip"
+	"vns/internal/topo"
+)
+
+func wireDeployment(t *testing.T, maxPrefixes int) (*WireDeployment, *Peering) {
+	t.Helper()
+	n := NewNetwork()
+	tp := topo.Generate(topo.GenConfig{Seed: 5, NumAS: 300})
+	pr := Connect(n, tp, ConnectConfig{Seed: 5})
+	dp := NewDataPlane(pr, 5)
+
+	db := geoip.New()
+	for i := range tp.Prefixes {
+		pi := &tp.Prefixes[i]
+		if err := db.Insert(geoip.Record{Prefix: pi.Prefix, Pos: pi.Loc, Country: pi.Country, Region: pi.Region}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rr := core.New(core.Config{DB: db, ClusterID: netip.MustParseAddr("10.0.0.100")})
+	for _, p := range n.PoPs {
+		for _, r := range p.Routers {
+			rr.AddEgress(core.Egress{ID: r, Pos: p.Place.Pos, PoP: p.Code})
+		}
+	}
+
+	w, err := StartWireDeployment("127.0.0.1:0", dp, rr, netip.MustParseAddr("10.0.0.100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	if err := w.ConnectEgresses(maxPrefixes); err != nil {
+		t.Fatal(err)
+	}
+	return w, pr
+}
+
+func TestWireDeploymentAllRoutersConnect(t *testing.T) {
+	w, pr := wireDeployment(t, 50)
+	routers := 0
+	for _, p := range pr.Net.PoPs {
+		routers += len(p.Routers)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && w.RR.NumPeers() < routers {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := w.RR.NumPeers(); got != routers {
+		t.Fatalf("peers = %d, want %d", got, routers)
+	}
+}
+
+func TestWireDeploymentRoutesConvergeToGeo(t *testing.T) {
+	w, pr := wireDeployment(t, 60)
+	// Wait until the reflector has routes for 60 prefixes.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && w.RR.NumRoutes() < 60 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := w.RR.NumRoutes(); got < 60 {
+		t.Fatalf("routes = %d, want >= 60", got)
+	}
+
+	// For a sample of prefixes, the wire-level best must exit at (or
+	// geographically very near) the PoP the in-process geo selection
+	// picks — the two code paths implement the same mechanism.
+	checked := 0
+	for i := 0; i < 60; i++ {
+		pi := &pr.Topo.Prefixes[i]
+		best := w.RR.Best(pi.Prefix)
+		if best == nil {
+			continue
+		}
+		pop, ok := pr.Net.RouterPoP(best.PeerID)
+		if !ok {
+			t.Fatalf("best route from unknown router %v", best.PeerID)
+		}
+		// The wire winner's distance to the prefix must be within a
+		// whisker of the best candidate PoP's distance.
+		cands := pr.Candidates(pi.Origin)
+		bestDist := 1e18
+		for _, c := range cands {
+			if d := geo.DistanceKm(c.Session.PoP.Place.Pos, pi.Loc); d < bestDist {
+				bestDist = d
+			}
+		}
+		got := geo.DistanceKm(pop.Place.Pos, pi.Loc)
+		if got > bestDist+50 {
+			t.Fatalf("prefix %v: wire egress %s at %.0f km, best possible %.0f km",
+				pi.Prefix, pop.Code, got, bestDist)
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d prefixes checked", checked)
+	}
+}
+
+func TestWireDeploymentAnnounceCounts(t *testing.T) {
+	w, _ := wireDeployment(t, 40)
+	counts := w.AnnounceCounts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	// 40 prefixes x 11 PoPs' best-external announcements.
+	if total != 40*11 {
+		t.Errorf("total announcements = %d, want %d", total, 440)
+	}
+}
+
+func TestWireDeploymentPrefixInfo(t *testing.T) {
+	w, pr := wireDeployment(t, 5)
+	pi, ok := w.prefixInfoFor(pr.Topo.Prefixes[0].Prefix)
+	if !ok || pi.Origin != pr.Topo.Prefixes[0].Origin {
+		t.Error("prefixInfoFor broken")
+	}
+	if _, ok := w.prefixInfoFor(netip.MustParsePrefix("192.0.2.0/24")); ok {
+		t.Error("unknown prefix should miss")
+	}
+}
