@@ -6,6 +6,7 @@
 package vns
 
 import (
+	"net/netip"
 	"sync"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"vns/internal/geo"
 	"vns/internal/media"
 	"vns/internal/topo"
+	"vns/internal/vns"
 )
 
 // benchEnv is shared across benchmarks; building the world is itself
@@ -277,4 +279,125 @@ func BenchmarkCapacityStudy(b *testing.B) {
 	}
 	b.ReportMetric(r.IntraRegionShare*100, "%intraRegion")
 	b.ReportMetric(r.LongHaulShare(e)*100, "%longHaul")
+}
+
+// BenchmarkForwardingLookup measures one compiled-FIB lookup on the
+// London engine over the full environment's table — the per-packet
+// data-plane cost.
+func BenchmarkForwardingLookup(b *testing.B) {
+	e := sharedEnv(b)
+	fwd := e.Forwarding(vns.ForwardingConfig{})
+	eng := fwd.Engine("LON")
+	addrs := make([]netip.Addr, 0, len(e.Topo.Prefixes))
+	for i := range e.Topo.Prefixes {
+		addrs = append(addrs, e.Topo.Prefixes[i].Prefix.Addr())
+	}
+	b.ReportMetric(float64(eng.Stats().FIB.Prefixes), "prefixes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkForwardingRecompile measures the control-plane cost of a
+// management override propagating into every PoP's compiled FIB: one
+// ForceExit/Unforce pair, eleven incremental recompiles each.
+func BenchmarkForwardingRecompile(b *testing.B) {
+	e := sharedEnv(b)
+	fwd := e.Forwarding(vns.ForwardingConfig{})
+	eng := fwd.Engine("LON")
+	var prefix netip.Prefix
+	var alt netip.Addr
+	for i := range e.Topo.Prefixes {
+		pi := &e.Topo.Prefixes[i]
+		nh, ok := eng.Lookup(pi.Prefix.Addr())
+		if !ok {
+			continue
+		}
+		for _, c := range e.Peering.Candidates(pi.Origin) {
+			if c.Session.PoP.ID != nh.PoP {
+				prefix, alt = pi.Prefix, c.Session.Router
+				break
+			}
+		}
+		if prefix.IsValid() {
+			break
+		}
+	}
+	if !prefix.IsValid() {
+		b.Fatal("no forceable prefix")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			if err := e.RR.ForceExit(prefix, alt); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			e.RR.Unforce(prefix)
+		}
+	}
+	b.StopTimer()
+	e.RR.Unforce(prefix)
+	b.ReportMetric(float64(eng.Stats().FIB.LastCompile)/1e6, "ms/compile")
+}
+
+// BenchmarkForwardingLookupUnderChurn measures concurrent lookup
+// throughput while the control plane continuously flips a forced exit —
+// readers must stay wait-free across atomic table swaps.
+func BenchmarkForwardingLookupUnderChurn(b *testing.B) {
+	e := sharedEnv(b)
+	fwd := e.Forwarding(vns.ForwardingConfig{})
+	eng := fwd.Engine("LON")
+	addrs := make([]netip.Addr, 0, len(e.Topo.Prefixes))
+	for i := range e.Topo.Prefixes {
+		addrs = append(addrs, e.Topo.Prefixes[i].Prefix.Addr())
+	}
+	var prefix netip.Prefix
+	var alt netip.Addr
+	for i := range e.Topo.Prefixes {
+		pi := &e.Topo.Prefixes[i]
+		nh, ok := eng.Lookup(pi.Prefix.Addr())
+		if !ok {
+			continue
+		}
+		for _, c := range e.Peering.Candidates(pi.Origin) {
+			if c.Session.PoP.ID != nh.PoP {
+				prefix, alt = pi.Prefix, c.Session.Router
+				break
+			}
+		}
+		if prefix.IsValid() {
+			break
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				if i%2 == 0 {
+					e.RR.ForceExit(prefix, alt)
+				} else {
+					e.RR.Unforce(prefix)
+				}
+			}
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			eng.Lookup(addrs[i%len(addrs)])
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+	e.RR.Unforce(prefix)
 }

@@ -56,6 +56,12 @@ func main() {
 	defer mg.Close()
 	log.Printf("management interface on %s", mg.Addr())
 
+	// Compile the per-PoP forwarding plane and keep it subscribed to the
+	// reflector: management overrides and re-advertisements trigger
+	// debounced incremental FIB recompiles.
+	fwd := env.Forwarding(vns.ForwardingConfig{Debounce: 50 * time.Millisecond})
+	log.Printf("forwarding plane: %d per-PoP FIBs compiled", len(fwd.Engines()))
+
 	if *egress {
 		go func() {
 			if err := w.ConnectEgresses(*maxPrefixes); err != nil {
@@ -80,6 +86,12 @@ func main() {
 			processed, misses := env.RR.Stats()
 			log.Printf("status: peers=%d routes=%d processed=%d geo-misses=%d",
 				w.RR.NumPeers(), w.RR.NumRoutes(), processed, misses)
+			for _, eng := range fwd.Engines() {
+				s := eng.Stats().FIB
+				pop := env.Net.PoPByID(eng.PoP())
+				log.Printf("fib %s: prefixes=%d gen=%d compiles=%d skipped=%d last-compile=%v pending=%d",
+					pop.Code, s.Prefixes, s.Generation, s.Compiles, s.SkippedCompiles, s.LastCompile, s.Pending)
+			}
 		case <-stop:
 			log.Print("shutting down")
 			return

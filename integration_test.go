@@ -9,6 +9,7 @@ import (
 	"vns/internal/core"
 	"vns/internal/experiments"
 	"vns/internal/media"
+	"vns/internal/netsim"
 	"vns/internal/vns"
 )
 
@@ -47,6 +48,85 @@ func TestEndToEndPipeline(t *testing.T) {
 		if len(strings.TrimSpace(out)) == 0 {
 			t.Errorf("%s rendered empty output", name)
 		}
+	}
+}
+
+// TestEndToEndForwardingCongruence compiles the per-PoP forwarding
+// plane over the full 2500-AS environment and checks the paper-scale
+// acceptance property: the egress PoP the compiled FIB selects agrees
+// with a fresh GeoRR control-plane decision for at least 99% of
+// destinations, management overrides included, and an RTP stream driven
+// through netsim by the London engine exits where the control plane
+// says it should.
+func TestEndToEndForwardingCongruence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	env := experiments.NewEnv(experiments.Config{NumAS: 2500})
+	fwd := env.Forwarding(vns.ForwardingConfig{})
+	lon := env.Net.PoP("LON")
+
+	match, total := fwd.Congruence(lon)
+	if total < 1000 {
+		t.Fatalf("only %d destinations counted", total)
+	}
+	if got := float64(match) / float64(total); got < 0.99 {
+		t.Fatalf("congruence %d/%d = %.4f, want >= 0.99", match, total, got)
+	}
+
+	// Overrides flow into the data path: force one prefix out a
+	// different PoP, pin a static /24, and re-check congruence.
+	var forced netip.Prefix
+	eng := fwd.Engine("LON")
+	for i := range env.Topo.Prefixes {
+		pi := &env.Topo.Prefixes[i]
+		nh, ok := eng.Lookup(pi.Prefix.Addr())
+		if !ok {
+			continue
+		}
+		for _, c := range env.Peering.Candidates(pi.Origin) {
+			if c.Session.PoP.ID != nh.PoP {
+				forced = pi.Prefix
+				if err := env.RR.ForceExit(forced, c.Session.Router); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		if forced.IsValid() {
+			break
+		}
+	}
+	if !forced.IsValid() {
+		t.Fatal("no forceable prefix found")
+	}
+	sub := netip.PrefixFrom(env.Topo.Prefixes[1].Prefix.Addr(), 24)
+	if err := env.RR.AddStatic(sub, env.Net.PoP("SIN").Routers[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	match, total = fwd.Congruence(lon)
+	if got := float64(match) / float64(total); got < 0.99 {
+		t.Fatalf("congruence with overrides %d/%d = %.4f, want >= 0.99", match, total, got)
+	}
+
+	// An RTP stream forwarded by the compiled plane reaches the egress
+	// PoP the control plane decided on.
+	var dst netip.Addr
+	var wantPoP int
+	for i := range env.Topo.Prefixes {
+		pi := &env.Topo.Prefixes[i]
+		if nh, ok := eng.Lookup(pi.Prefix.Addr()); ok && nh.PoP != lon.ID {
+			dst, wantPoP = pi.Prefix.Addr(), nh.PoP
+			break
+		}
+	}
+	tr := media.GenerateTrace(media.TraceConfig{DurationSec: 5, Seed: 9})
+	var sim netsim.Sim
+	_, egress := fwd.ForwardStream(&sim, lon, dst, tr)
+	sim.RunAll()
+	if egress[wantPoP] != tr.NumPackets() {
+		t.Fatalf("RTP stream: %d/%d packets at PoP %d (map %v)",
+			egress[wantPoP], tr.NumPackets(), wantPoP, egress)
 	}
 }
 

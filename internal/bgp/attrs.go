@@ -168,6 +168,24 @@ func (a Attrs) HasClusterLoop(id netip.Addr) bool {
 	return slices.Contains(a.ClusterList, id)
 }
 
+// Equal reports whether two attribute sets are identical in every
+// attribute, including deep equality of AS_PATH, communities and
+// cluster list. Route replacement logic uses it to tell a genuinely new
+// route from an attribute-identical re-announcement.
+func (a Attrs) Equal(b Attrs) bool {
+	return a.Origin == b.Origin &&
+		a.NextHop == b.NextHop &&
+		a.MED == b.MED && a.HasMED == b.HasMED &&
+		a.LocalPref == b.LocalPref && a.HasLocalPref == b.HasLocalPref &&
+		a.AtomicAggregate == b.AtomicAggregate &&
+		a.OriginatorID == b.OriginatorID &&
+		slices.Equal(a.Communities, b.Communities) &&
+		slices.Equal(a.ClusterList, b.ClusterList) &&
+		slices.EqualFunc(a.ASPath, b.ASPath, func(x, y ASPathSegment) bool {
+			return x.Set == y.Set && slices.Equal(x.ASNs, y.ASNs)
+		})
+}
+
 // Clone returns a deep copy, so reflected or policy-modified routes do
 // not alias the original's slices.
 func (a Attrs) Clone() Attrs {

@@ -100,6 +100,12 @@ type GeoRR struct {
 	processed uint64
 	missMu    sync.Mutex
 	misses    uint64
+
+	// Change subscribers (the forwarding plane's FIB publishers). Own
+	// lock so notification never nests inside mu: subscribers typically
+	// re-resolve prefixes, which calls back into Assign.
+	changeMu sync.Mutex
+	onChange []func(netip.Prefix)
 }
 
 // StaticRoute is a more-specific prefix statically advertised from a
@@ -193,6 +199,33 @@ func (rr *GeoRR) Assign(from netip.Addr, prefix netip.Prefix) Decision {
 	}
 }
 
+// OnChange registers fn to be invoked with every prefix whose routing
+// outcome may have changed: management overrides (force-exit, exempt,
+// statics) and re-advertised updates. This is how the reflector
+// publishes FIB recompiles — subscribers mark the prefix dirty and
+// rebuild their compiled tables (internal/fib.Publisher.Invalidate is
+// the intended callback). Callbacks run synchronously on the mutating
+// goroutine, after GeoRR locks are released; they may call back into
+// the GeoRR.
+func (rr *GeoRR) OnChange(fn func(netip.Prefix)) {
+	rr.changeMu.Lock()
+	defer rr.changeMu.Unlock()
+	rr.onChange = append(rr.onChange, fn)
+}
+
+// notifyChange fans prefixes out to every subscriber. Callers must not
+// hold rr.mu.
+func (rr *GeoRR) notifyChange(prefixes ...netip.Prefix) {
+	rr.changeMu.Lock()
+	fns := rr.onChange
+	rr.changeMu.Unlock()
+	for _, fn := range fns {
+		for _, p := range prefixes {
+			fn(p)
+		}
+	}
+}
+
 func (rr *GeoRR) missed() {
 	rr.missMu.Lock()
 	rr.misses++
@@ -206,6 +239,12 @@ func (rr *GeoRR) missed() {
 // unmodified (exempt/unknown) — the caller still reflects withdraws.
 func (rr *GeoRR) ProcessUpdate(from netip.Addr, u bgp.Update) bgp.Update {
 	out := bgp.Update{Withdrawn: u.Withdrawn}
+	defer func() {
+		// Re-advertisement publishes FIB recompiles: every prefix this
+		// update touched is dirty for the forwarding plane.
+		rr.notifyChange(u.Withdrawn...)
+		rr.notifyChange(u.NLRI...)
+	}()
 	if len(u.NLRI) == 0 {
 		return out
 	}

@@ -19,19 +19,22 @@ import (
 // data-plane-wise). The egress must be registered.
 func (rr *GeoRR) ForceExit(prefix netip.Prefix, egress netip.Addr) error {
 	rr.mu.Lock()
-	defer rr.mu.Unlock()
 	if _, ok := rr.egresses[egress]; !ok {
+		rr.mu.Unlock()
 		return fmt.Errorf("core: unknown egress %v", egress)
 	}
 	rr.forced[prefix.Masked()] = egress
+	rr.mu.Unlock()
+	rr.notifyChange(prefix.Masked())
 	return nil
 }
 
 // Unforce removes a forced exit.
 func (rr *GeoRR) Unforce(prefix netip.Prefix) {
 	rr.mu.Lock()
-	defer rr.mu.Unlock()
 	delete(rr.forced, prefix.Masked())
+	rr.mu.Unlock()
+	rr.notifyChange(prefix.Masked())
 }
 
 // Exempt excludes prefix from geo-routing (used for globally spread
@@ -39,15 +42,17 @@ func (rr *GeoRR) Unforce(prefix netip.Prefix) {
 // their original attributes, so ordinary hot-potato selection applies.
 func (rr *GeoRR) Exempt(prefix netip.Prefix) {
 	rr.mu.Lock()
-	defer rr.mu.Unlock()
 	rr.exempt[prefix.Masked()] = true
+	rr.mu.Unlock()
+	rr.notifyChange(prefix.Masked())
 }
 
 // Unexempt re-enables geo-routing for prefix.
 func (rr *GeoRR) Unexempt(prefix netip.Prefix) {
 	rr.mu.Lock()
-	defer rr.mu.Unlock()
 	delete(rr.exempt, prefix.Masked())
+	rr.mu.Unlock()
+	rr.notifyChange(prefix.Masked())
 }
 
 // IsExempt reports whether prefix is exempted.
@@ -65,27 +70,30 @@ func (rr *GeoRR) IsExempt(prefix netip.Prefix) bool {
 // actually be delivered.
 func (rr *GeoRR) AddStatic(prefix netip.Prefix, egress netip.Addr, hasCover func(netip.Prefix) bool) error {
 	rr.mu.Lock()
-	defer rr.mu.Unlock()
 	if _, ok := rr.egresses[egress]; !ok {
+		rr.mu.Unlock()
 		return fmt.Errorf("core: unknown egress %v", egress)
 	}
 	if hasCover != nil && !hasCover(prefix) {
+		rr.mu.Unlock()
 		return fmt.Errorf("core: no covering route for %v at %v", prefix, egress)
 	}
 	prefix = prefix.Masked()
 	for _, s := range rr.statics {
 		if s.Prefix == prefix && s.Egress == egress {
+			rr.mu.Unlock()
 			return nil // idempotent
 		}
 	}
 	rr.statics = append(rr.statics, StaticRoute{Prefix: prefix, Egress: egress})
+	rr.mu.Unlock()
+	rr.notifyChange(prefix)
 	return nil
 }
 
 // RemoveStatic removes a static advertisement.
 func (rr *GeoRR) RemoveStatic(prefix netip.Prefix, egress netip.Addr) {
 	rr.mu.Lock()
-	defer rr.mu.Unlock()
 	prefix = prefix.Masked()
 	kept := rr.statics[:0]
 	for _, s := range rr.statics {
@@ -95,6 +103,8 @@ func (rr *GeoRR) RemoveStatic(prefix netip.Prefix, egress netip.Addr) {
 		kept = append(kept, s)
 	}
 	rr.statics = kept
+	rr.mu.Unlock()
+	rr.notifyChange(prefix)
 }
 
 // Statics returns the static advertisements sorted by prefix.

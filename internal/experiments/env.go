@@ -42,6 +42,8 @@ type Env struct {
 	DP      *vns.DataPlane
 	// RNG is the root generator experiments fork from.
 	RNG *loss.RNG
+
+	fwd *vns.Forwarding // built lazily by Forwarding
 }
 
 // NewEnv builds an environment. It is deterministic in cfg.
@@ -86,4 +88,15 @@ func (e *Env) GeoEgressPoP(pi *topo.PrefixInfo) *vns.PoP {
 		return nil
 	}
 	return best.Session.PoP
+}
+
+// Forwarding compiles the per-PoP forwarding plane (internal/fib) over
+// this environment's reflector and peering, built once and cached:
+// engines stay subscribed to the reflector, so later management
+// overrides keep the compiled tables current.
+func (e *Env) Forwarding(cfg vns.ForwardingConfig) *vns.Forwarding {
+	if e.fwd == nil {
+		e.fwd = vns.NewForwarding(e.Peering, e.RR, cfg)
+	}
+	return e.fwd
 }

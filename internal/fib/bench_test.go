@@ -1,0 +1,127 @@
+package fib
+
+import (
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vns/internal/loss"
+)
+
+// benchTable builds a deterministic ~n-prefix entry set plus a probe
+// address list that mixes hits and misses.
+func benchTable(n int) ([]Entry, []netip.Addr) {
+	rng := loss.NewRNG(0xF1B)
+	entries := randomEntries(rng, n)
+	addrs := make([]netip.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = randomAddr(rng)
+	}
+	return entries, addrs
+}
+
+// BenchmarkFIBLookup measures trie lookup cost at 100k-prefix scale —
+// the compiled hot path (target: tens of ns, ≥10× the linear scan).
+func BenchmarkFIBLookup(b *testing.B) {
+	entries, addrs := benchTable(100_000)
+	f := Compile(entries, 1)
+	b.ReportMetric(float64(f.Size()), "prefixes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkLinearLookup is the reference LPM at the same scale; the
+// ratio to BenchmarkFIBLookup is the compiled plane's speedup.
+func BenchmarkLinearLookup(b *testing.B) {
+	entries, addrs := benchTable(100_000)
+	l := NewLinear(entries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkFIBRecompile measures a full 100k-prefix trie build — the
+// control plane's cost to publish new routing state.
+func BenchmarkFIBRecompile(b *testing.B) {
+	entries, _ := benchTable(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compile(entries, uint64(i))
+	}
+}
+
+// BenchmarkFIBLookupParallel measures lookup throughput across all
+// cores while a writer continuously recompiles and atomically swaps the
+// table — the lookup-under-churn case the atomic.Pointer publication
+// exists for.
+func BenchmarkFIBLookupParallel(b *testing.B) {
+	entries, addrs := benchTable(100_000)
+	var cur atomic.Pointer[FIB]
+	cur.Store(Compile(entries, 0))
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		gen := uint64(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				cur.Store(Compile(entries, gen))
+				gen++
+			}
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			cur.Load().Lookup(addrs[i%len(addrs)])
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+// BenchmarkPublisherInvalidate measures one incremental dirty-prefix
+// recompile cycle (resolve + rebuild + swap) on a 100k-prefix table.
+func BenchmarkPublisherInvalidate(b *testing.B) {
+	entries, _ := benchTable(100_000)
+	table := make(map[netip.Prefix]NextHop, len(entries))
+	universe := make([]netip.Prefix, 0, len(entries))
+	for _, e := range entries {
+		p := e.Prefix.Masked()
+		if _, ok := table[p]; !ok {
+			universe = append(universe, p)
+		}
+		table[p] = e.NextHop
+	}
+	flip := false
+	pub := NewPublisher(Config{Resolve: func(p netip.Prefix) (NextHop, bool) {
+		h, ok := table[p]
+		if ok && flip {
+			h.Neighbor++
+		}
+		return h, ok
+	}})
+	pub.ResolveAll(universe)
+	b.ReportMetric(float64(pub.Current().Size()), "prefixes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flip = !flip
+		pub.Invalidate(universe[i%len(universe)])
+	}
+	b.StopTimer()
+	if s := pub.Stats(); s.LastCompile > 0 {
+		b.ReportMetric(float64(s.LastCompile)/float64(time.Millisecond), "ms/recompile")
+	}
+}

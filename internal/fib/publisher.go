@@ -1,0 +1,197 @@
+package fib
+
+import (
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures a Publisher.
+type Config struct {
+	// Resolve computes the forwarding action for one prefix from the
+	// control plane's current state. Returning ok=false withdraws the
+	// prefix from the FIB. It is called with the Publisher's internal
+	// lock held, so it must not call back into the Publisher.
+	Resolve func(netip.Prefix) (NextHop, bool)
+	// Debounce batches a burst of invalidations into one recompile: the
+	// rebuild runs that long after the first invalidation of a batch.
+	// Zero recompiles synchronously inside Invalidate, which is what
+	// deterministic tests want.
+	Debounce time.Duration
+}
+
+// Stats is a Publisher's observable state, for operational exposure
+// (cmd/vnsd) and tests.
+type Stats struct {
+	// Generation counts published compiles; the current FIB carries it.
+	Generation uint64
+	// Prefixes is the number of installed prefixes.
+	Prefixes int
+	// LastCompile is the duration of the most recent trie build.
+	LastCompile time.Duration
+	// Compiles counts trie builds; SkippedCompiles counts flushes whose
+	// dirty prefixes all resolved to unchanged next hops, so no rebuild
+	// was needed (the no-spurious-churn fast path).
+	Compiles        uint64
+	SkippedCompiles uint64
+	// Pending is the number of dirty prefixes awaiting the next flush.
+	Pending int
+}
+
+// Publisher owns the mutable side of a FIB: the resolved entry set, the
+// dirty-prefix batch, and the atomically published current compile.
+// Readers call Current()/Lookup() and never block; one or more control
+// plane goroutines drive ResolveAll/Invalidate/Flush under an internal
+// lock.
+type Publisher struct {
+	cfg Config
+
+	cur atomic.Pointer[FIB]
+
+	mu      sync.Mutex
+	entries map[netip.Prefix]NextHop
+	dirty   map[netip.Prefix]struct{}
+	timer   *time.Timer
+	gen     uint64
+	stats   Stats
+	closed  bool
+}
+
+// NewPublisher creates a Publisher that starts out publishing an empty
+// generation-0 FIB.
+func NewPublisher(cfg Config) *Publisher {
+	p := &Publisher{
+		cfg:     cfg,
+		entries: make(map[netip.Prefix]NextHop),
+		dirty:   make(map[netip.Prefix]struct{}),
+	}
+	p.cur.Store(Compile(nil, 0))
+	return p
+}
+
+// Current returns the most recently published FIB. The returned table
+// is immutable and remains valid (and correct for its generation) even
+// after later publishes.
+func (p *Publisher) Current() *FIB { return p.cur.Load() }
+
+// Lookup queries the current FIB.
+func (p *Publisher) Lookup(addr netip.Addr) (NextHop, bool) {
+	return p.cur.Load().Lookup(addr)
+}
+
+// ResolveAll resolves every given prefix from scratch and publishes a
+// full compile: the initial table download, or a full reconvergence.
+func (p *Publisher) ResolveAll(prefixes []netip.Prefix) *FIB {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = make(map[netip.Prefix]NextHop, len(prefixes))
+	for _, pfx := range prefixes {
+		if nh, ok := p.cfg.Resolve(pfx); ok {
+			p.entries[pfx] = nh
+		}
+	}
+	p.dirty = make(map[netip.Prefix]struct{})
+	return p.compileLocked()
+}
+
+// Invalidate marks prefixes dirty. With a zero debounce the recompile
+// happens before Invalidate returns; otherwise it is scheduled so that
+// a burst of updates triggers a single rebuild.
+func (p *Publisher) Invalidate(prefixes ...netip.Prefix) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	for _, pfx := range prefixes {
+		p.dirty[pfx] = struct{}{}
+	}
+	if len(p.dirty) == 0 {
+		return
+	}
+	if p.cfg.Debounce == 0 {
+		p.flushLocked()
+		return
+	}
+	if p.timer == nil {
+		p.timer = time.AfterFunc(p.cfg.Debounce, func() { p.Flush() })
+	}
+}
+
+// Flush resolves all pending dirty prefixes now and publishes a new
+// compile if any next hop actually changed. It reports whether a new
+// FIB was published.
+func (p *Publisher) Flush() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *Publisher) flushLocked() bool {
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	if len(p.dirty) == 0 {
+		return false
+	}
+	changed := false
+	for pfx := range p.dirty {
+		nh, ok := p.cfg.Resolve(pfx)
+		old, had := p.entries[pfx]
+		switch {
+		case ok && (!had || old != nh):
+			p.entries[pfx] = nh
+			changed = true
+		case !ok && had:
+			delete(p.entries, pfx)
+			changed = true
+		}
+	}
+	p.dirty = make(map[netip.Prefix]struct{})
+	if !changed {
+		p.stats.SkippedCompiles++
+		return false
+	}
+	p.compileLocked()
+	return true
+}
+
+func (p *Publisher) compileLocked() *FIB {
+	entries := make([]Entry, 0, len(p.entries))
+	for pfx, nh := range p.entries {
+		entries = append(entries, Entry{Prefix: pfx, NextHop: nh})
+	}
+	p.gen++
+	f := Compile(entries, p.gen)
+	p.stats.Compiles++
+	p.stats.LastCompile = f.CompileDuration()
+	p.cur.Store(f)
+	return f
+}
+
+// Stats returns a snapshot of the publisher's counters plus the
+// published FIB's size and generation.
+func (p *Publisher) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	f := p.cur.Load()
+	s.Generation = f.Generation()
+	s.Prefixes = f.Size()
+	s.Pending = len(p.dirty)
+	return s
+}
+
+// Close stops any pending debounce timer. Lookups against the last
+// published FIB keep working.
+func (p *Publisher) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+}

@@ -1,0 +1,83 @@
+package probe
+
+import (
+	"net/netip"
+	"testing"
+
+	"vns/internal/fib"
+	"vns/internal/loss"
+	"vns/internal/netsim"
+)
+
+// fabric returns the same single-link path for every PoP pair.
+type fabric struct{ path *netsim.Path }
+
+func (f fabric) Path(from, to int) *netsim.Path {
+	if from == to {
+		return nil
+	}
+	return f.path
+}
+
+func testEngine(t *testing.T, pop int, fb fib.Fabric) *fib.Engine {
+	t.Helper()
+	nh := fib.NextHop{PoP: 2, Router: netip.MustParseAddr("10.0.2.1"), Neighbor: 1}
+	pub := fib.NewPublisher(fib.Config{Resolve: func(p netip.Prefix) (fib.NextHop, bool) {
+		return nh, true
+	}})
+	pub.ResolveAll([]netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")})
+	return fib.NewEngine(pop, pub, fb)
+}
+
+func TestFIBTrainLossless(t *testing.T) {
+	link := netsim.NewLink("a-b", 10, 1000, nil, loss.NewRNG(1))
+	eng := testEngine(t, 1, fabric{netsim.NewPath(link)})
+	var sim netsim.Sim
+	res := FIBTrain(&sim, eng, netip.MustParseAddr("203.0.113.7"), 100)
+	sim.RunAll()
+	if res.Sent != 100 || res.Delivered != 100 || res.Lost() != 0 {
+		t.Fatalf("sent=%d delivered=%d lost=%d", res.Sent, res.Delivered, res.Lost())
+	}
+	if res.Egress[2] != 100 {
+		t.Errorf("egress map = %v, want all at PoP 2", res.Egress)
+	}
+	// One 10 ms link: the min transit estimator converges to the
+	// propagation delay.
+	if res.MinTransitMs < 10 || res.MinTransitMs > 11 {
+		t.Errorf("MinTransitMs = %.3f, want ~10", res.MinTransitMs)
+	}
+	if res.NoRoute {
+		t.Error("NoRoute on a resolvable destination")
+	}
+}
+
+func TestFIBTrainLossyLink(t *testing.T) {
+	lm := loss.NewUniform(0.3, loss.NewRNG(7))
+	link := netsim.NewLink("a-b", 10, 1000, lm, loss.NewRNG(2))
+	eng := testEngine(t, 1, fabric{netsim.NewPath(link)})
+	var sim netsim.Sim
+	res := FIBTrain(&sim, eng, netip.MustParseAddr("203.0.113.7"), 200)
+	sim.RunAll()
+	if res.Lost() == 0 {
+		t.Error("no loss on a 30% lossy link")
+	}
+	if res.Delivered == 0 {
+		t.Error("everything lost on a 30% lossy link")
+	}
+}
+
+func TestFIBTrainNoRoute(t *testing.T) {
+	pub := fib.NewPublisher(fib.Config{Resolve: func(p netip.Prefix) (fib.NextHop, bool) {
+		return fib.NextHop{}, false
+	}})
+	eng := fib.NewEngine(1, pub, fabric{})
+	var sim netsim.Sim
+	res := FIBTrain(&sim, eng, netip.MustParseAddr("8.8.8.8"), 5)
+	sim.RunAll()
+	if !res.NoRoute || res.Delivered != 0 {
+		t.Fatalf("NoRoute=%v delivered=%d, want no-route and nothing delivered", res.NoRoute, res.Delivered)
+	}
+	if res.Sent != 5 {
+		t.Errorf("sent = %d, want 5 (trains are counted even when unroutable)", res.Sent)
+	}
+}

@@ -59,6 +59,25 @@ func (r *Route) Clone() *Route {
 	return &out
 }
 
+// Equal reports whether two routes are identical by value: same prefix,
+// learning context and attributes. Selection uses it to distinguish a
+// genuinely changed best path from an attribute-identical
+// re-announcement, which must not trigger re-advertisement or FIB
+// churn. Both nil is true; one nil is false.
+func (r *Route) Equal(o *Route) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	return r.Prefix == o.Prefix &&
+		r.EBGP == o.EBGP &&
+		r.PeerAS == o.PeerAS &&
+		r.PeerID == o.PeerID &&
+		r.PeerAddr == o.PeerAddr &&
+		r.IGPMetric == o.IGPMetric &&
+		r.FromClient == o.FromClient &&
+		r.Attrs.Equal(o.Attrs)
+}
+
 func (r *Route) String() string {
 	kind := "iBGP"
 	if r.EBGP {
@@ -246,11 +265,38 @@ func (t *Table) Withdraw(prefix netip.Prefix, peerID, peerAddr netip.Addr) (best
 	return e.reselect()
 }
 
+// reselect reruns selection and reports whether the best path changed
+// *by value*: replacing a peer's route with an attribute-identical
+// announcement yields a new *Route pointer but must not report a
+// change, or every periodic re-announcement would trigger spurious
+// re-advertisement and FIB recompiles downstream.
 func (e *entry) reselect() bool {
 	nb := Best(e.routes)
-	changed := nb != e.best
+	changed := !nb.Equal(e.best)
 	e.best = nb
 	return changed
+}
+
+// Lookup returns the best route of the longest prefix containing addr,
+// or nil when no installed prefix covers it. This is the reference
+// linear-scan LPM: correct for any caller, and the oracle the compiled
+// forwarding plane (internal/fib) is differentially tested against. On
+// large tables prefer a compiled fib.FIB for the hot path.
+func (t *Table) Lookup(addr netip.Addr) *Route {
+	if addr.Is4In6() {
+		addr = addr.Unmap()
+	}
+	var best *Route
+	bestBits := -1
+	for p, e := range t.entries {
+		if e.best == nil || !p.Contains(addr) {
+			continue
+		}
+		if p.Bits() > bestBits {
+			best, bestBits = e.best, p.Bits()
+		}
+	}
+	return best
 }
 
 // Best returns the best route for prefix, or nil.

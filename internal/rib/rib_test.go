@@ -416,3 +416,100 @@ func BenchmarkTableUpsert(b *testing.B) {
 		tb.Upsert(routes[i%len(routes)])
 	}
 }
+
+func TestUpsertIdenticalReannouncementNoChange(t *testing.T) {
+	tb := NewTable()
+	if !tb.Upsert(baseRoute()) {
+		t.Fatal("first announcement must change best")
+	}
+	// The same peer re-announces the same route with identical
+	// attributes: a fresh *Route pointer, equal by value. This must NOT
+	// report a best-path change (regression: pointer comparison made
+	// every periodic re-announcement look like a change, churning
+	// re-advertisement and FIB recompiles downstream).
+	if tb.Upsert(baseRoute()) {
+		t.Error("attribute-identical re-announcement reported bestChanged")
+	}
+	// A genuinely different attribute must still report a change.
+	r := baseRoute()
+	r.Attrs.ASPath = []bgp.ASPathSegment{{ASNs: []uint16{100}}}
+	if !tb.Upsert(r) {
+		t.Error("shorter AS path should change best")
+	}
+	// And re-announcing the now-best route again is again a no-op.
+	r2 := baseRoute()
+	r2.Attrs.ASPath = []bgp.ASPathSegment{{ASNs: []uint16{100}}}
+	if tb.Upsert(r2) {
+		t.Error("re-announcement of changed best reported bestChanged")
+	}
+}
+
+func TestRouteEqual(t *testing.T) {
+	a, b := baseRoute(), baseRoute()
+	if !a.Equal(b) {
+		t.Error("identical routes must be Equal")
+	}
+	var nilRoute *Route
+	if !nilRoute.Equal(nil) {
+		t.Error("nil.Equal(nil) must be true")
+	}
+	if a.Equal(nil) || nilRoute.Equal(a) {
+		t.Error("nil vs non-nil must be unequal")
+	}
+	b.Attrs.Communities = []bgp.Community{42}
+	if a.Equal(b) {
+		t.Error("differing communities must be unequal")
+	}
+	b = baseRoute()
+	b.IGPMetric++
+	if a.Equal(b) {
+		t.Error("differing IGP metric must be unequal")
+	}
+}
+
+func TestTableLookupLongestPrefix(t *testing.T) {
+	tb := NewTable()
+	add := func(p string, peerID string) {
+		r := baseRoute()
+		r.Prefix = prefix(p)
+		r.PeerID = addr(peerID)
+		tb.Upsert(r)
+	}
+	add("0.0.0.0/0", "10.0.0.1")
+	add("10.0.0.0/8", "10.0.0.2")
+	add("10.1.0.0/16", "10.0.0.3")
+	add("10.1.2.0/24", "10.0.0.4")
+
+	cases := []struct {
+		addr string
+		want string // expected prefix
+	}{
+		{"10.1.2.3", "10.1.2.0/24"},  // most specific wins
+		{"10.1.9.9", "10.1.0.0/16"},  // covered by /8 and /16
+		{"10.200.0.1", "10.0.0.0/8"}, // only the /8 covers
+		{"192.0.2.1", "0.0.0.0/0"},   // default route catches the rest
+	}
+	for _, c := range cases {
+		got := tb.Lookup(addr(c.addr))
+		if got == nil || got.Prefix != prefix(c.want) {
+			t.Errorf("Lookup(%s) = %v, want %s", c.addr, got, c.want)
+		}
+	}
+
+	// 4-in-6 mapped addresses unmap before matching.
+	if got := tb.Lookup(addr("::ffff:10.1.2.3")); got == nil || got.Prefix != prefix("10.1.2.0/24") {
+		t.Errorf("4-in-6 Lookup = %v, want 10.1.2.0/24", got)
+	}
+
+	// Without a default route, uncovered addresses miss.
+	tb2 := NewTable()
+	r := baseRoute()
+	r.Prefix = prefix("172.16.0.0/12")
+	tb2.Upsert(r)
+	if got := tb2.Lookup(addr("8.8.8.8")); got != nil {
+		t.Errorf("uncovered address returned %v, want nil", got)
+	}
+	if got := tb2.Lookup(addr("172.31.0.1")); got == nil {
+		t.Error("covered address missed")
+	}
+}

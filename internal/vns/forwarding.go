@@ -1,0 +1,251 @@
+package vns
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"vns/internal/core"
+	"vns/internal/fib"
+	"vns/internal/media"
+	"vns/internal/netsim"
+)
+
+// This file wires the compiled forwarding plane (internal/fib) into the
+// VNS deployment: every PoP owns a FIB compiled from the GeoRR's
+// post-policy route decisions, packets resolve their egress by
+// longest-prefix match against it, and management overrides
+// (force-exit, static more-specifics) flow into the data path through
+// the reflector's change notifications.
+
+// ForwardingConfig tunes the forwarding plane.
+type ForwardingConfig struct {
+	// Debounce batches a burst of control-plane changes into one FIB
+	// recompile per PoP. Zero recompiles synchronously, which
+	// deterministic tests want; daemons should set a few tens of
+	// milliseconds.
+	Debounce time.Duration
+	// Emulate tunes the internal netsim paths packets are forwarded
+	// over.
+	Emulate EmulateOptions
+}
+
+// Forwarding is the deployment's forwarding plane: one fib.Publisher
+// and fib.Engine per PoP, compiled from the GeoRR's post-policy routes,
+// plus the cached netsim fabric the engines forward over. It implements
+// fib.Fabric.
+type Forwarding struct {
+	Peering *Peering
+	RR      *core.GeoRR
+
+	pubs    map[int]*fib.Publisher // by 1-based PoP id
+	engines map[int]*fib.Engine
+
+	// resolveMu serializes route resolution: Peering's candidate cache
+	// and the netsim path cache are not safe for concurrent mutation,
+	// and publisher flushes may run on debounce-timer goroutines.
+	resolveMu sync.Mutex
+
+	pathMu sync.Mutex
+	paths  map[[2]int]*netsim.Path
+	opts   EmulateOptions
+}
+
+// NewForwarding compiles the initial per-PoP FIBs and subscribes to the
+// reflector's change notifications, so later management overrides and
+// re-advertisements trigger incremental recompiles.
+func NewForwarding(pr *Peering, rr *core.GeoRR, cfg ForwardingConfig) *Forwarding {
+	f := &Forwarding{
+		Peering: pr,
+		RR:      rr,
+		pubs:    make(map[int]*fib.Publisher, len(pr.Net.PoPs)),
+		engines: make(map[int]*fib.Engine, len(pr.Net.PoPs)),
+		paths:   make(map[[2]int]*netsim.Path),
+		opts:    cfg.Emulate,
+	}
+	for _, p := range pr.Net.PoPs {
+		vantage := p
+		pub := fib.NewPublisher(fib.Config{
+			Resolve:  func(pfx netip.Prefix) (fib.NextHop, bool) { return f.resolveLocked(vantage, pfx) },
+			Debounce: cfg.Debounce,
+		})
+		f.pubs[p.ID] = pub
+		f.engines[p.ID] = fib.NewEngine(p.ID, pub, f)
+	}
+	// Subscribe before the initial compile so no change can fall
+	// between them.
+	rr.OnChange(f.Invalidate)
+	f.RecompileAll()
+	return f
+}
+
+// universe returns every prefix the forwarding plane should know: all
+// originated prefixes plus statically advertised more-specifics.
+func (f *Forwarding) universe() []netip.Prefix {
+	statics := f.RR.Statics()
+	out := make([]netip.Prefix, 0, len(f.Peering.Topo.Prefixes)+len(statics))
+	for i := range f.Peering.Topo.Prefixes {
+		out = append(out, f.Peering.Topo.Prefixes[i].Prefix)
+	}
+	for _, s := range statics {
+		out = append(out, s.Prefix)
+	}
+	return out
+}
+
+// RecompileAll rebuilds every PoP's FIB from scratch (the initial table
+// download; also useful after wholesale topology changes).
+func (f *Forwarding) RecompileAll() {
+	u := f.universe()
+	for _, p := range f.Peering.Net.PoPs {
+		f.pubs[p.ID].ResolveAll(u)
+	}
+}
+
+// Invalidate marks one prefix dirty at every PoP. It is the
+// rr.OnChange callback, and may be called directly.
+func (f *Forwarding) Invalidate(prefix netip.Prefix) {
+	for _, pub := range f.pubs {
+		pub.Invalidate(prefix)
+	}
+}
+
+// Flush forces every pending recompile now (useful with a non-zero
+// debounce when a test or shutdown needs a consistent state).
+func (f *Forwarding) Flush() {
+	for _, pub := range f.pubs {
+		pub.Flush()
+	}
+}
+
+// resolveLocked computes the control-plane decision for one prefix as
+// seen from a vantage PoP: static more-specifics pin their configured
+// egress; everything else runs the post-policy (GeoRR local-pref)
+// decision process over the candidate sessions. Called from publishers
+// with their lock held.
+func (f *Forwarding) resolveLocked(vantage *PoP, prefix netip.Prefix) (fib.NextHop, bool) {
+	f.resolveMu.Lock()
+	defer f.resolveMu.Unlock()
+	return f.resolve(vantage, prefix)
+}
+
+func (f *Forwarding) resolve(vantage *PoP, prefix netip.Prefix) (fib.NextHop, bool) {
+	for _, s := range f.RR.Statics() {
+		if s.Prefix == prefix {
+			if p, ok := f.Peering.Net.RouterPoP(s.Egress); ok {
+				return fib.NextHop{PoP: p.ID, Router: s.Egress}, true
+			}
+		}
+	}
+	pi, ok := f.Peering.Topo.PrefixInfoFor(prefix)
+	if !ok {
+		return fib.NextHop{}, false
+	}
+	cands := f.Peering.Candidates(pi.Origin)
+	best, ok := f.Peering.SelectGeo(f.RR, vantage, cands, prefix)
+	if !ok {
+		return fib.NextHop{}, false
+	}
+	return fib.NextHop{
+		PoP:      best.Session.PoP.ID,
+		Router:   best.Session.Router,
+		Neighbor: best.Session.Neighbor.Index,
+	}, true
+}
+
+// Path implements fib.Fabric: the internal netsim path between two
+// PoPs, built once and cached so link queueing state persists across
+// the packets of a flow. A same-PoP path is nil (no internal leg).
+func (f *Forwarding) Path(from, to int) *netsim.Path {
+	if from == to {
+		return nil
+	}
+	f.pathMu.Lock()
+	defer f.pathMu.Unlock()
+	key := [2]int{from, to}
+	if p, ok := f.paths[key]; ok {
+		return p
+	}
+	n := f.Peering.Net
+	p := n.EmulatedPath(n.PoPByID(from), n.PoPByID(to), f.opts)
+	f.paths[key] = p
+	return p
+}
+
+// Engine returns the forwarding engine of the PoP with the given
+// Figure 11 code ("LON").
+func (f *Forwarding) Engine(code string) *fib.Engine {
+	return f.engines[f.Peering.Net.PoP(code).ID]
+}
+
+// EngineByID returns the forwarding engine of the PoP with the given
+// paper number.
+func (f *Forwarding) EngineByID(id int) *fib.Engine { return f.engines[id] }
+
+// Engines returns all engines in PoP-id order.
+func (f *Forwarding) Engines() []*fib.Engine {
+	out := make([]*fib.Engine, 0, len(f.engines))
+	for _, p := range f.Peering.Net.PoPs {
+		out = append(out, f.engines[p.ID])
+	}
+	return out
+}
+
+// Congruence checks the compiled data plane against the control plane:
+// for every originated prefix it compares the egress PoP the vantage
+// engine's FIB selects with a fresh control-plane decision (SelectGeo
+// plus management overrides). It returns the number of destinations
+// where both agree and the number with a route on either side; the two
+// should match for (nearly) all destinations whenever the FIB is
+// caught up.
+func (f *Forwarding) Congruence(vantage *PoP) (match, total int) {
+	eng := f.engines[vantage.ID]
+	f.resolveMu.Lock()
+	defer f.resolveMu.Unlock()
+	for i := range f.Peering.Topo.Prefixes {
+		pfx := f.Peering.Topo.Prefixes[i].Prefix
+		nh, fibOK := eng.Lookup(pfx.Addr())
+		want, cpOK := f.resolve(vantage, pfx)
+		if !fibOK && !cpOK {
+			continue // unreachable on both sides: congruent, uncounted
+		}
+		total++
+		if fibOK && cpOK && nh.PoP == want.PoP {
+			match++
+		}
+	}
+	return match, total
+}
+
+// ForwardStream plays a media trace from an ingress PoP through the
+// forwarding plane toward dst: every RTP packet is resolved against the
+// ingress engine's current FIB and driven hop by hop across the
+// internal fabric to its egress PoP. It returns the receiver-side
+// stream stats and the packet count delivered per egress PoP id (under
+// stable routing a single egress carries the whole stream; a recompile
+// mid-stream shifts the remainder). The caller runs the simulator.
+func (f *Forwarding) ForwardStream(sim *netsim.Sim, ingress *PoP, dst netip.Addr, tr *media.Trace) (*media.StreamStats, map[int]int) {
+	eng := f.engines[ingress.ID]
+	st := media.NewStreamStats(tr.Definition, tr.DurationSec)
+	egress := make(map[int]int)
+	start := sim.Now()
+	for i, p := range tr.Packets {
+		p := p
+		seq := uint32(i)
+		sim.Schedule(start+p.AtSec, func() {
+			st.RecordSent(p.AtSec)
+			_, ok := eng.Forward(sim, dst, netsim.Packet{Seq: seq, Size: p.Size},
+				func(pkt netsim.Packet, nh fib.NextHop) {
+					egress[nh.PoP]++
+					st.RecordReceived(p.AtSec*1000, (sim.Now()-start)*1000)
+				},
+				func(int) { st.RecordLost(p.AtSec) })
+			if !ok {
+				st.RecordLost(p.AtSec)
+			}
+		})
+	}
+	return st, egress
+}
+
+var _ fib.Fabric = (*Forwarding)(nil)
