@@ -12,6 +12,7 @@ import (
 
 	"vns/internal/experiments"
 	"vns/internal/geo"
+	"vns/internal/health"
 	"vns/internal/media"
 	"vns/internal/topo"
 	"vns/internal/vns"
@@ -340,6 +341,27 @@ func BenchmarkForwardingRecompile(b *testing.B) {
 	b.StopTimer()
 	e.RR.Unforce(prefix)
 	b.ReportMetric(float64(eng.Stats().FIB.LastCompile)/1e6, "ms/compile")
+}
+
+// BenchmarkFailoverConvergence measures one full failover
+// reconvergence through the health controller: IGP recompute, GeoRR
+// egress withdrawal (or restoration), and a whole-universe invalidate
+// plus flush across all eleven per-PoP FIB publishers. Iterations
+// alternate failing and restoring SIN-SYD, so each one is a real
+// topology change (the no-churn fast path never short-circuits it).
+func BenchmarkFailoverConvergence(b *testing.B) {
+	e := sharedEnv(b)
+	fwd := e.Forwarding(vns.ForwardingConfig{})
+	ctl := health.NewController(fwd, e.RR, nil)
+	sin, syd := e.Net.PoP("SIN"), e.Net.PoP("SYD")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl.Apply(sin, syd, i%2 != 0)
+	}
+	b.StopTimer()
+	// Leave the shared environment healthy for later benchmarks.
+	ctl.Apply(sin, syd, true)
+	b.ReportMetric(float64(fwd.Engine("LON").Stats().FIB.LastCompile)/1e6, "ms/fibCompile")
 }
 
 // BenchmarkForwardingLookupUnderChurn measures concurrent lookup

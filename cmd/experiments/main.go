@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,table1,fig12,congruence,repair,mediaclaims,qoe,capacity,econ,ablations or all")
+	run := flag.String("run", "all", "comma-separated experiments: fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,table1,fig12,congruence,repair,mediaclaims,qoe,capacity,econ,ablations,failover or all")
 	seed := flag.Uint64("seed", 0, "random seed (0 = default)")
 	numAS := flag.Int("numas", 0, "synthetic Internet size in ASes (0 = default 3000)")
 	days := flag.Int("days", 0, "measurement days for fig9/fig10/fig11/fig12/table1 (0 = defaults)")
@@ -115,6 +115,16 @@ func main() {
 	section("econ", func() string {
 		return experiments.EconStudy(env, true, nil).Render() + "\n" +
 			experiments.EconStudy(env, false, nil).Render()
+	})
+
+	// The failover study mutates link state, so it builds its own
+	// (smaller) environment rather than sharing env.
+	section("failover", func() string {
+		cfg := experiments.FailoverConfig{Cfg: experiments.Config{Seed: *seed, NumAS: *numAS}}
+		if *numAS == 0 {
+			cfg.Cfg.NumAS = 1500
+		}
+		return experiments.FailoverStudy(cfg).Render()
 	})
 
 	section("ablations", func() string {

@@ -20,6 +20,8 @@ import (
 
 	"vns/internal/core"
 	"vns/internal/experiments"
+	"vns/internal/health"
+	"vns/internal/netsim"
 	"vns/internal/vns"
 )
 
@@ -30,6 +32,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "world seed")
 	egress := flag.Bool("egress", true, "spawn in-process egress routers that dial the reflector")
 	maxPrefixes := flag.Int("max-prefixes", 500, "prefixes each egress router announces (0 = all)")
+	failLink := flag.String("faillink", "", "demo fault: L2 link to kill, as PoP codes like SIN-SYD")
+	failAt := flag.Duration("failat", 15*time.Second, "when (simulated) to kill -faillink")
+	failFor := flag.Duration("failfor", 30*time.Second, "how long (simulated) -faillink stays down")
 	flag.Parse()
 
 	log.SetPrefix("vnsd: ")
@@ -62,6 +67,31 @@ func main() {
 	fwd := env.Forwarding(vns.ForwardingConfig{Debounce: 50 * time.Millisecond})
 	log.Printf("forwarding plane: %d per-PoP FIBs compiled", len(fwd.Engines()))
 
+	// Liveness and failover: BFD-lite sessions over every L2 link of the
+	// shared fabric, detected failures feeding the failover controller.
+	// The hello exchange runs in simulated time, advanced in lockstep
+	// with the status ticker (5 simulated seconds per wall tick).
+	healthSim := &netsim.Sim{}
+	reg := health.NewRegistry()
+	mon := health.NewMonitor(healthSim, fwd.Fabric(), health.Config{}, reg)
+	ctl := health.NewController(fwd, env.RR, reg)
+	ctl.Bind(mon)
+	mon.Start()
+	log.Printf("liveness: %d link sessions at %.0fms hellos, detect multiplier %d",
+		len(mon.Sessions()), mon.Config().TxIntervalMs, mon.Config().Multiplier)
+
+	if *failLink != "" {
+		codes := strings.SplitN(strings.ToUpper(*failLink), "-", 2)
+		if len(codes) != 2 {
+			log.Fatalf("bad -faillink %q, want e.g. SIN-SYD", *failLink)
+		}
+		a, b := env.Net.PoP(codes[0]), env.Net.PoP(codes[1])
+		inj := health.NewInjector(healthSim, fwd.Fabric(), reg)
+		inj.LinkDownAt(failAt.Seconds(), a, b)
+		inj.LinkUpAt((*failAt + *failFor).Seconds(), a, b)
+		log.Printf("fault demo: %s-%s down at t=%v for %v", a.Code, b.Code, *failAt, *failFor)
+	}
+
 	if *egress {
 		go func() {
 			if err := w.ConnectEgresses(*maxPrefixes); err != nil {
@@ -83,9 +113,14 @@ func main() {
 	for {
 		select {
 		case <-tick.C:
+			healthSim.Run(healthSim.Now() + 5)
 			processed, misses := env.RR.Stats()
-			log.Printf("status: peers=%d routes=%d processed=%d geo-misses=%d",
-				w.RR.NumPeers(), w.RR.NumRoutes(), processed, misses)
+			log.Printf("status: peers=%d routes=%d processed=%d geo-misses=%d egress-down=%d",
+				w.RR.NumPeers(), w.RR.NumRoutes(), processed, misses, len(env.RR.DownEgresses()))
+			log.Printf("health: t=%.0fs sessions=%d down=%d hellos tx=%d rx=%d withdrawals=%d restores=%d",
+				healthSim.Now(), len(mon.Sessions()), mon.DownSessions(),
+				reg.Counter("health.hellos_tx"), reg.Counter("health.hellos_rx"),
+				reg.Counter("failover.withdrawals"), reg.Counter("failover.restores"))
 			for _, eng := range fwd.Engines() {
 				s := eng.Stats().FIB
 				pop := env.Net.PoPByID(eng.PoP())

@@ -3,6 +3,7 @@ package bgp
 import (
 	"net"
 	"net/netip"
+	"strings"
 	"testing"
 	"time"
 )
@@ -229,5 +230,79 @@ func TestStateString(t *testing.T) {
 	}
 	if State(42).String() != "State(42)" {
 		t.Error("unknown state name")
+	}
+}
+
+// TestHoldTimerExpiryNotification establishes a session against a hand-rolled wire
+// peer that completes the handshake and then goes silent. The session
+// must detect the silence within the negotiated hold time, send a
+// NOTIFICATION with the hold-timer-expired code, and transition cleanly
+// to Idle.
+func TestHoldTimerExpiryNotification(t *testing.T) {
+	ca, cb := pairTCP(t)
+
+	// The raw peer: OPEN + initial KEEPALIVE, then silence. It keeps
+	// reading so our keepalives don't back up, and reports the first
+	// NOTIFICATION it receives.
+	notifCh := make(chan Notification, 1)
+	go func() {
+		defer cb.Close()
+		for _, m := range []Message{
+			Open{Version: version4, AS: 65001, HoldTime: 3, ID: addr("10.0.0.2")},
+			Keepalive{},
+		} {
+			buf, err := Marshal(m)
+			if err != nil {
+				t.Errorf("marshal: %v", err)
+				return
+			}
+			if _, err := cb.Write(buf); err != nil {
+				t.Errorf("peer write: %v", err)
+				return
+			}
+		}
+		cb.SetReadDeadline(time.Now().Add(10 * time.Second))
+		for {
+			msg, err := ReadMessage(cb)
+			if err != nil {
+				return
+			}
+			if n, ok := msg.(Notification); ok {
+				notifCh <- n
+				return
+			}
+		}
+	}()
+
+	s, err := Handshake(ca, SessionConfig{LocalAS: 65000, LocalID: addr("10.0.0.1"), HoldTime: 3 * time.Second})
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	if s.State() != StateEstablished {
+		t.Fatalf("state = %v, want Established", s.State())
+	}
+
+	start := time.Now()
+	select {
+	case <-s.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("session did not detect peer silence")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("expiry took %v, hold time is 3s", waited)
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "hold timer") {
+		t.Errorf("session error = %v, want hold timer expiry", err)
+	}
+	if s.State() != StateIdle {
+		t.Errorf("state after expiry = %v, want Idle", s.State())
+	}
+	select {
+	case n := <-notifCh:
+		if n.Code != NotifHoldTimerExpired {
+			t.Errorf("peer received notification code %d, want %d", n.Code, NotifHoldTimerExpired)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("peer never received a NOTIFICATION")
 	}
 }

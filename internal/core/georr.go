@@ -90,6 +90,11 @@ type GeoRR struct {
 	mu       sync.RWMutex
 	egresses map[netip.Addr]Egress
 
+	// downEgress marks egress routers withdrawn by liveness monitoring
+	// (internal/health): a PoP failure downs all its routers, and their
+	// routes stop being candidates everywhere until recovery.
+	downEgress map[netip.Addr]bool
+
 	// Management state (the paper's overrides).
 	forced  map[netip.Prefix]netip.Addr // prefix -> forced egress router
 	exempt  map[netip.Prefix]bool       // prefixes excluded from geo-routing
@@ -122,10 +127,11 @@ func New(cfg Config) *GeoRR {
 		cfg.LocalPref = LinearLocalPref
 	}
 	return &GeoRR{
-		cfg:      cfg,
-		egresses: make(map[netip.Addr]Egress),
-		forced:   make(map[netip.Prefix]netip.Addr),
-		exempt:   make(map[netip.Prefix]bool),
+		cfg:        cfg,
+		egresses:   make(map[netip.Addr]Egress),
+		downEgress: make(map[netip.Addr]bool),
+		forced:     make(map[netip.Prefix]netip.Addr),
+		exempt:     make(map[netip.Prefix]bool),
 	}
 }
 
@@ -178,6 +184,12 @@ func (rr *GeoRR) Assign(from netip.Addr, prefix netip.Prefix) Decision {
 	if !ok {
 		return Decision{Reason: fmt.Sprintf("unknown egress %v", from)}
 	}
+	if rr.downEgress[from] {
+		// Withdrawn by liveness monitoring: no preference, so the route
+		// never beats a geo-processed alternative while the egress is
+		// out of service.
+		return Decision{Reason: "egress down"}
+	}
 	if forcedTo, ok := rr.forced[prefix]; ok {
 		// A forced prefix gets maximum preference at its designated
 		// egress and none elsewhere, overriding geography.
@@ -197,6 +209,45 @@ func (rr *GeoRR) Assign(from netip.Addr, prefix netip.Prefix) Decision {
 		DistanceKm: d,
 		Record:     rec,
 	}
+}
+
+// SetEgressDown marks an egress router withdrawn (down=true) or
+// restored (down=false) for liveness purposes and reports whether the
+// state changed. While down, Assign refuses to prefer the router's
+// routes, so reselection falls to the geographically next-best healthy
+// egress. The failover controller (internal/health) is the intended
+// caller; the management interface exposes it for drains.
+func (rr *GeoRR) SetEgressDown(id netip.Addr, down bool) bool {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if rr.downEgress[id] == down {
+		return false
+	}
+	if down {
+		rr.downEgress[id] = true
+	} else {
+		delete(rr.downEgress, id)
+	}
+	return true
+}
+
+// EgressDown reports whether liveness monitoring has withdrawn the
+// egress router.
+func (rr *GeoRR) EgressDown(id netip.Addr) bool {
+	rr.mu.RLock()
+	defer rr.mu.RUnlock()
+	return rr.downEgress[id]
+}
+
+// DownEgresses returns the currently withdrawn egress routers.
+func (rr *GeoRR) DownEgresses() []netip.Addr {
+	rr.mu.RLock()
+	defer rr.mu.RUnlock()
+	out := make([]netip.Addr, 0, len(rr.downEgress))
+	for id := range rr.downEgress {
+		out = append(out, id)
+	}
+	return out
 }
 
 // OnChange registers fn to be invoked with every prefix whose routing

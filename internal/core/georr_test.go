@@ -262,3 +262,41 @@ func BenchmarkAssign(b *testing.B) {
 		rr.Assign(addr("10.0.1.1"), p)
 	}
 }
+
+func TestEgressDownWithdraws(t *testing.T) {
+	rr, _ := testRR(t)
+	ams, p := addr("10.0.1.1"), prefix("10.1.0.0/16")
+
+	if dec := rr.Assign(ams, p); dec.LocalPref == 0 {
+		t.Fatalf("healthy egress got no preference: %+v", dec)
+	}
+	if !rr.SetEgressDown(ams, true) {
+		t.Fatal("SetEgressDown(down) reported no change")
+	}
+	if rr.SetEgressDown(ams, true) {
+		t.Fatal("repeated SetEgressDown(down) reported a change")
+	}
+	if !rr.EgressDown(ams) {
+		t.Fatal("EgressDown = false after withdraw")
+	}
+	if dec := rr.Assign(ams, p); dec.LocalPref != 0 || dec.Reason != "egress down" {
+		t.Fatalf("down egress decision = %+v", dec)
+	}
+	// Other egresses are untouched.
+	if dec := rr.Assign(addr("10.0.2.1"), p); dec.LocalPref == 0 {
+		t.Fatalf("unrelated egress withdrawn: %+v", dec)
+	}
+	if got := rr.DownEgresses(); len(got) != 1 || got[0] != ams {
+		t.Fatalf("DownEgresses = %v", got)
+	}
+
+	if !rr.SetEgressDown(ams, false) {
+		t.Fatal("SetEgressDown(up) reported no change")
+	}
+	if dec := rr.Assign(ams, p); dec.LocalPref == 0 {
+		t.Fatalf("restored egress still withdrawn: %+v", dec)
+	}
+	if got := rr.DownEgresses(); len(got) != 0 {
+		t.Fatalf("DownEgresses after restore = %v", got)
+	}
+}

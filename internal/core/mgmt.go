@@ -19,6 +19,8 @@ import (
 //	unexempt <prefix>                re-enable geo-routing
 //	static <prefix> <egress-router>  advertise a no-export more-specific
 //	unstatic <prefix> <egress-router>
+//	egress-down <egress-router>      drain an egress (liveness withdraw)
+//	egress-up <egress-router>        restore a drained egress
 //	show <prefix>                    current best route
 //	egresses                         registered egress routers
 //	stats                            counters
@@ -162,6 +164,17 @@ func (m *MgmtServer) Execute(line string) string {
 		}
 		return "OK"
 
+	case "egress-down", "egress-up":
+		if len(fields) != 2 {
+			return "ERR usage: " + cmd + " <egress-router>"
+		}
+		a, e := parseAddr(fields[1])
+		if e != "" {
+			return e
+		}
+		rr.SetEgressDown(a, cmd == "egress-down")
+		return "OK"
+
 	case "show":
 		if len(fields) != 2 {
 			return "ERR usage: show <prefix>"
@@ -186,15 +199,19 @@ func (m *MgmtServer) Execute(line string) string {
 	case "egresses":
 		var b strings.Builder
 		for _, e := range rr.Egresses() {
-			fmt.Fprintf(&b, "%s %v %v\n", e.PoP, e.ID, e.Pos)
+			state := ""
+			if rr.EgressDown(e.ID) {
+				state = " down"
+			}
+			fmt.Fprintf(&b, "%s %v %v%s\n", e.PoP, e.ID, e.Pos, state)
 		}
 		b.WriteString("end")
 		return b.String()
 
 	case "stats":
 		processed, misses := rr.Stats()
-		return fmt.Sprintf("peers=%d routes=%d processed=%d geo-misses=%d statics=%d",
-			m.srv.NumPeers(), m.srv.NumRoutes(), processed, misses, len(rr.Statics()))
+		return fmt.Sprintf("peers=%d routes=%d processed=%d geo-misses=%d statics=%d egress-down=%d",
+			m.srv.NumPeers(), m.srv.NumRoutes(), processed, misses, len(rr.Statics()), len(rr.DownEgresses()))
 
 	default:
 		return "ERR unknown command " + cmd

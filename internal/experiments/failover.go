@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"vns/internal/health"
+	"vns/internal/media"
+	"vns/internal/netsim"
+	"vns/internal/vns"
+)
+
+// This file studies automatic failover (internal/health) end to end:
+// an RTP stream from London toward a destination whose geo egress is
+// Sydney, with Sydney's only L2 link (SIN-SYD) killed mid-stream.
+// Because cold-potato LOCAL_PREF dominates the decision process, a
+// transit link failure alone never moves an egress — only losing the
+// PoP does — so isolating SYD is the scenario that exercises the whole
+// chain: BFD-lite detection, GeoRR withdrawal, IGP recompute, per-PoP
+// FIB republish, and recovery.
+
+// FailoverConfig parameterizes the study.
+type FailoverConfig struct {
+	// Cfg scales the environment.
+	Cfg Config
+	// Health tunes the liveness protocol (defaults: 50 ms hellos,
+	// multiplier 3, 1 s up-hold).
+	Health health.Config
+	// FailAtSec and HealAtSec schedule the SIN-SYD fault in simulated
+	// stream time; EndSec bounds the simulation.
+	FailAtSec, HealAtSec, EndSec float64
+	// TraceSeed drives the RTP trace.
+	TraceSeed uint64
+}
+
+func (c FailoverConfig) withDefaults() FailoverConfig {
+	if c.FailAtSec == 0 {
+		c.FailAtSec = 8
+	}
+	if c.HealAtSec == 0 {
+		c.HealAtSec = 16
+	}
+	if c.EndSec == 0 {
+		c.EndSec = 35
+	}
+	if c.TraceSeed == 0 {
+		c.TraceSeed = 9
+	}
+	return c
+}
+
+// FailoverResult holds everything the failover study measures.
+type FailoverResult struct {
+	Cfg FailoverConfig
+
+	// Prefix is the studied destination; Forced reports whether it had
+	// to be pinned to Sydney (no prefix geo-routed there naturally).
+	Prefix netip.Prefix
+	Forced bool
+
+	// Egress PoP codes seen by the stream: before the fault, during the
+	// outage, and after recovery.
+	OrigEgress, FailEgress, RestoredEgress string
+
+	// DetectionSec is fault-to-down-event simulated latency;
+	// RecoverySec is heal-to-up-event (includes the up-hold window).
+	DetectionSec, RecoverySec float64
+	// DetectionBoundSec is the theoretical worst case: one-way
+	// propagation plus TxInterval*(Multiplier+1).
+	DetectionBoundSec float64
+
+	// Withdrawals and Restores count per-router GeoRR health
+	// transitions; ConvergeMs and RepublishMs are wall-clock samples of
+	// the controller's full reconvergence and the slowest per-PoP FIB
+	// compile within it.
+	Withdrawals, Restores uint64
+	ConvergeMs            []float64
+	RepublishMs           []float64
+
+	// Stream accounting: packets sent/lost and the equivalent outage
+	// duration (lost packets over the trace's packet rate).
+	SentPackets, LostPackets int
+	OutageSec                float64
+
+	// Congruence of the London FIB against a fresh control-plane
+	// decision, during the outage and after recovery.
+	FailCongruence, FinalCongruence float64
+
+	// HellosTx counts liveness packets transmitted over the fabric.
+	HellosTx uint64
+}
+
+// FailoverStudy builds its own environment (it mutates link state),
+// runs the SIN-SYD failure scenario under an active stream, and
+// returns the measurements. The scenario is deterministic in cfg.
+func FailoverStudy(cfg FailoverConfig) *FailoverResult {
+	cfg = cfg.withDefaults()
+	e := NewEnv(cfg.Cfg)
+	fwd := e.Forwarding(vns.ForwardingConfig{})
+	fab := fwd.Fabric()
+	lon, sin, syd := e.Net.PoP("LON"), e.Net.PoP("SIN"), e.Net.PoP("SYD")
+
+	res := &FailoverResult{Cfg: cfg}
+
+	// A destination London sends to Sydney. Prefer one geography picks
+	// naturally; otherwise pin one there with the management interface.
+	eng := fwd.Engine("LON")
+	for i := range e.Topo.Prefixes {
+		pi := &e.Topo.Prefixes[i]
+		if nh, ok := eng.Lookup(pi.Prefix.Addr()); ok && nh.PoP == syd.ID {
+			res.Prefix = pi.Prefix
+			break
+		}
+	}
+	if !res.Prefix.IsValid() {
+		for i := range e.Topo.Prefixes {
+			pi := &e.Topo.Prefixes[i]
+			if _, ok := eng.Lookup(pi.Prefix.Addr()); ok {
+				if err := e.RR.ForceExit(pi.Prefix, syd.Routers[0]); err == nil {
+					res.Prefix, res.Forced = pi.Prefix, true
+					fwd.Flush()
+					break
+				}
+			}
+		}
+	}
+	if !res.Prefix.IsValid() {
+		return res
+	}
+
+	sim := &netsim.Sim{}
+	reg := health.NewRegistry()
+	mon := health.NewMonitor(sim, fab, cfg.Health, reg)
+	ctl := health.NewController(fwd, e.RR, reg)
+	ctl.Bind(mon)
+
+	var events []health.Event
+	mon.OnEvent(func(ev health.Event) { events = append(events, ev) })
+
+	inj := health.NewInjector(sim, fab, reg)
+	inj.LinkDownAt(cfg.FailAtSec, sin, syd)
+	inj.LinkUpAt(cfg.HealAtSec, sin, syd)
+
+	tr := media.GenerateTrace(media.TraceConfig{DurationSec: cfg.EndSec - 5, Seed: cfg.TraceSeed})
+	st, egress := fwd.ForwardStream(sim, lon, res.Prefix.Addr(), tr)
+
+	mon.Start()
+
+	// Phase 1: run into the outage, sample the failed-over state.
+	sim.Run(cfg.HealAtSec - 0.5)
+	if nh, ok := eng.Lookup(res.Prefix.Addr()); ok {
+		res.FailEgress = e.Net.PoPByID(nh.PoP).Code
+	}
+	match, total := fwd.Congruence(lon)
+	if total > 0 {
+		res.FailCongruence = float64(match) / float64(total)
+	}
+
+	// Phase 2: recovery and drain.
+	sim.Run(cfg.EndSec)
+	mon.Stop()
+	sim.RunAll()
+
+	if nh, ok := eng.Lookup(res.Prefix.Addr()); ok {
+		res.RestoredEgress = e.Net.PoPByID(nh.PoP).Code
+	}
+	match, total = fwd.Congruence(lon)
+	if total > 0 {
+		res.FinalCongruence = float64(match) / float64(total)
+	}
+
+	for _, ev := range events {
+		if !ev.Up && res.DetectionSec == 0 {
+			res.DetectionSec = ev.At - cfg.FailAtSec
+		}
+		if ev.Up {
+			res.RecoverySec = ev.At - cfg.HealAtSec
+		}
+	}
+	hcfg := mon.Config()
+	prop := fab.Link(sin, syd).PropDelayMs / 1000
+	res.DetectionBoundSec = prop + hcfg.TxIntervalMs*float64(hcfg.Multiplier+1)/1000
+
+	res.Withdrawals = reg.Counter("failover.withdrawals")
+	res.Restores = reg.Counter("failover.restores")
+	res.ConvergeMs = reg.Samples("failover.converge_ms")
+	res.RepublishMs = reg.Samples("failover.republish_ms")
+	res.HellosTx = reg.Counter("health.hellos_tx")
+
+	res.SentPackets = st.Sent
+	res.LostPackets = st.Sent - st.Received
+	if rate := float64(tr.NumPackets()) / tr.DurationSec; rate > 0 {
+		res.OutageSec = float64(res.LostPackets) / rate
+	}
+
+	// The stream's dominant egresses before and during the outage.
+	sydCount := egress[syd.ID]
+	bestOther, bestCount := 0, 0
+	for pop, n := range egress {
+		if pop != syd.ID && n > bestCount {
+			bestOther, bestCount = pop, n
+		}
+	}
+	if sydCount > 0 {
+		res.OrigEgress = syd.Code
+	}
+	if bestOther != 0 && res.FailEgress == "" {
+		res.FailEgress = e.Net.PoPByID(bestOther).Code
+	}
+	return res
+}
+
+// Render prints the failover study for cmd/experiments.
+func (r *FailoverResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Failover study: SIN-SYD cut under an active LON stream\n")
+	if !r.Prefix.IsValid() {
+		b.WriteString("no routable destination found\n")
+		return b.String()
+	}
+	forced := ""
+	if r.Forced {
+		forced = " (pinned)"
+	}
+	fmt.Fprintf(&b, "destination %v via %s%s, failover to %s, restored to %s\n",
+		r.Prefix, r.OrigEgress, forced, r.FailEgress, r.RestoredEgress)
+	fmt.Fprintf(&b, "detection %.0fms (bound %.0fms), recovery %.0fms after heal (incl. %.0fms up-hold)\n",
+		r.DetectionSec*1000, r.DetectionBoundSec*1000, r.RecoverySec*1000, r.Cfg.Health.UpHoldMs)
+	fmt.Fprintf(&b, "reconvergence: %d withdrawals, %d restores", r.Withdrawals, r.Restores)
+	if len(r.ConvergeMs) > 0 {
+		fmt.Fprintf(&b, ", control plane %.1fms max, worst FIB compile %.2fms max",
+			maxOf(r.ConvergeMs), maxOf(r.RepublishMs))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "stream: %d/%d packets lost = %.2fs outage; congruence %.1f%% during outage, %.1f%% after recovery\n",
+		r.LostPackets, r.SentPackets, r.OutageSec, r.FailCongruence*100, r.FinalCongruence*100)
+	fmt.Fprintf(&b, "liveness: %d hellos transmitted\n", r.HellosTx)
+	return b.String()
+}
+
+func maxOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"testing"
+
+	"vns/internal/health"
+	"vns/internal/netsim"
+	"vns/internal/vns"
+)
+
+// TestFailoverEndToEnd is the acceptance scenario for internal/health:
+// kill Sydney's only L2 link under an active FIB-forwarded RTP stream
+// and check the whole chain — detection within the BFD bound, GeoRR
+// withdrawal, FIB reconvergence with congruence intact, a bounded loss
+// window, and full restoration after recovery.
+func TestFailoverEndToEnd(t *testing.T) {
+	res := FailoverStudy(FailoverConfig{Cfg: Config{Seed: 42, NumAS: 900}})
+	if !res.Prefix.IsValid() {
+		t.Fatal("no routable destination found")
+	}
+	t.Logf("\n%s", res.Render())
+
+	if res.OrigEgress != "SYD" {
+		t.Errorf("stream did not start via SYD: %q", res.OrigEgress)
+	}
+	if res.DetectionSec <= 0 || res.DetectionSec > res.DetectionBoundSec {
+		t.Errorf("detection %.3fs outside (0, %.3fs]", res.DetectionSec, res.DetectionBoundSec)
+	}
+	if res.FailEgress == "" || res.FailEgress == "SYD" {
+		t.Errorf("no failover egress: %q", res.FailEgress)
+	}
+	if res.RestoredEgress != "SYD" {
+		t.Errorf("recovery did not restore SYD: %q", res.RestoredEgress)
+	}
+	// Both SYD routers withdrawn once and restored once.
+	if res.Withdrawals != vns.RoutersPerPoP || res.Restores != vns.RoutersPerPoP {
+		t.Errorf("withdrawals/restores = %d/%d, want %d/%d",
+			res.Withdrawals, res.Restores, vns.RoutersPerPoP, vns.RoutersPerPoP)
+	}
+	// The data plane must agree with the control plane in both the
+	// failed-over and the recovered state.
+	if res.FailCongruence < 0.99 {
+		t.Errorf("congruence during outage = %.4f", res.FailCongruence)
+	}
+	if res.FinalCongruence < 0.99 {
+		t.Errorf("congruence after recovery = %.4f", res.FinalCongruence)
+	}
+	// Loss is confined to the detection window plus in-flight packets
+	// on the long LON->SYD path (about 0.3 s one way).
+	if res.LostPackets == 0 {
+		t.Error("fault produced no loss — was the stream on the link?")
+	}
+	if res.OutageSec > res.DetectionBoundSec+1.0 {
+		t.Errorf("outage %.2fs exceeds detection bound %.2fs + 1s in-flight margin",
+			res.OutageSec, res.DetectionBoundSec)
+	}
+	// Recovery waits out the up-hold hysteresis, then reconverges.
+	upHold := res.Cfg.Health.UpHoldMs / 1000
+	if upHold == 0 {
+		upHold = 1.0 // health default
+	}
+	if res.RecoverySec < upHold || res.RecoverySec > upHold+res.DetectionBoundSec+0.2 {
+		t.Errorf("recovery %.3fs outside [%.2f, %.2f]",
+			res.RecoverySec, upHold, upHold+res.DetectionBoundSec+0.2)
+	}
+	if len(res.ConvergeMs) < 2 || len(res.RepublishMs) < 2 {
+		t.Errorf("convergence samples missing: %d/%d", len(res.ConvergeMs), len(res.RepublishMs))
+	}
+}
+
+// TestFailoverStudyDeterministic checks the simulated-time half of the
+// study (wall-clock convergence samples necessarily vary) is identical
+// across runs.
+func TestFailoverStudyDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full environments")
+	}
+	cfg := FailoverConfig{Cfg: Config{Seed: 42, NumAS: 900}}
+	a, b := FailoverStudy(cfg), FailoverStudy(cfg)
+	if a.Prefix != b.Prefix || a.DetectionSec != b.DetectionSec ||
+		a.RecoverySec != b.RecoverySec || a.LostPackets != b.LostPackets ||
+		a.OrigEgress != b.OrigEgress || a.FailEgress != b.FailEgress {
+		t.Fatalf("study not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestControllerFlapSuppression runs a flapping link through the full
+// monitor -> controller -> GeoRR -> FIB chain: the up-hold hysteresis
+// must collapse six flap cycles into at most one withdraw/restore
+// cycle per router.
+func TestControllerFlapSuppression(t *testing.T) {
+	e := NewEnv(Config{Seed: 11, NumAS: 400})
+	fwd := e.Forwarding(vns.ForwardingConfig{})
+	sin, syd := e.Net.PoP("SIN"), e.Net.PoP("SYD")
+
+	sim := &netsim.Sim{}
+	reg := health.NewRegistry()
+	mon := health.NewMonitor(sim, fwd.Fabric(), health.Config{TxIntervalMs: 50, Multiplier: 3, UpHoldMs: 1000}, reg)
+	ctl := health.NewController(fwd, e.RR, reg)
+	ctl.Bind(mon)
+
+	inj := health.NewInjector(sim, fwd.Fabric(), reg)
+	inj.FlapLink(sin, syd, 1.0, 0.5, 6)
+
+	mon.Start()
+	sim.Run(8)
+	mon.Stop()
+	sim.RunAll()
+
+	// One down and one up per router across the whole episode.
+	if w := reg.Counter("failover.withdrawals"); w != vns.RoutersPerPoP {
+		t.Errorf("withdrawals = %d, want %d", w, vns.RoutersPerPoP)
+	}
+	if r := reg.Counter("failover.restores"); r != vns.RoutersPerPoP {
+		t.Errorf("restores = %d, want %d", r, vns.RoutersPerPoP)
+	}
+	if d := reg.Counter("failover.link_down_events"); d != 1 {
+		t.Errorf("link down events = %d, want 1", d)
+	}
+	for _, r := range syd.Routers {
+		if e.RR.EgressDown(r) {
+			t.Errorf("router %v still withdrawn after flapping stopped", r)
+		}
+	}
+	if !e.Net.Reachable(sin, syd) {
+		t.Error("SYD unreachable after recovery")
+	}
+}

@@ -1,0 +1,104 @@
+package health
+
+import (
+	"sync"
+	"time"
+
+	"vns/internal/core"
+	"vns/internal/vns"
+)
+
+// Controller is the failover brain: it consumes liveness events and
+// drives the control plane back to a consistent state. On a link-down
+// it marks the link failed in the IGP (rerouting internal paths); when
+// a PoP loses its last adjacency it withdraws the PoP's egress routers
+// from the GeoRR, so reselection falls to the geographically next-best
+// healthy egress everywhere. Either way it then invalidates the whole
+// prefix universe and flushes every PoP's FIB publisher — the
+// publisher's no-spurious-churn fast path keeps that cheap for
+// prefixes whose next hop didn't move. Recovery reverses each step.
+type Controller struct {
+	fwd *vns.Forwarding
+	rr  *core.GeoRR
+	reg *Registry
+
+	// mu serializes reconvergence: events can arrive from a simulation
+	// goroutine while a management drain runs elsewhere.
+	mu sync.Mutex
+}
+
+// NewController builds a controller over the forwarding plane and its
+// reflector. reg may be nil.
+func NewController(fwd *vns.Forwarding, rr *core.GeoRR, reg *Registry) *Controller {
+	return &Controller{fwd: fwd, rr: rr, reg: reg}
+}
+
+// Bind subscribes the controller to a monitor's liveness events.
+func (c *Controller) Bind(m *Monitor) {
+	m.OnEvent(func(ev Event) { c.Apply(ev.A, ev.B, ev.Up) })
+}
+
+// Apply reconverges the control plane after a liveness transition on
+// the a-b link and returns how long the reconvergence took (zero when
+// the event was stale — the IGP already agreed). It is the whole
+// failover path: IGP update, egress withdrawal/restoration, and FIB
+// republish.
+func (c *Controller) Apply(a, b *vns.PoP, up bool) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := time.Now()
+	fab := c.fwd.Fabric()
+	if !fab.SetLinkState(a, b, up) {
+		return 0
+	}
+	net := fab.Network()
+	for _, p := range [2]*vns.PoP{a, b} {
+		isolated := popIsolated(net, p)
+		for _, r := range p.Routers {
+			if !c.rr.SetEgressDown(r, isolated) {
+				continue
+			}
+			if c.reg != nil {
+				if isolated {
+					c.reg.Inc("failover.withdrawals", 1)
+				} else {
+					c.reg.Inc("failover.restores", 1)
+				}
+			}
+		}
+	}
+	c.fwd.InvalidateAll()
+	c.fwd.Flush()
+	took := time.Since(start)
+	if c.reg != nil {
+		if up {
+			c.reg.Inc("failover.link_up_events", 1)
+		} else {
+			c.reg.Inc("failover.link_down_events", 1)
+		}
+		c.reg.Observe("failover.converge_ms", float64(took)/1e6)
+		var worst time.Duration
+		for _, eng := range c.fwd.Engines() {
+			if lc := eng.Publisher().Stats().LastCompile; lc > worst {
+				worst = lc
+			}
+		}
+		c.reg.Observe("failover.republish_ms", float64(worst)/1e6)
+	}
+	return took
+}
+
+// popIsolated reports whether every L2 adjacency of p is down — the
+// condition under which the PoP is unreachable internally and its
+// egresses must be withdrawn.
+func popIsolated(net *vns.Network, p *vns.PoP) bool {
+	for _, l := range net.L2Links() {
+		if l[0] != p && l[1] != p {
+			continue
+		}
+		if !net.L2LinkDown(l[0], l[1]) {
+			return false
+		}
+	}
+	return true
+}

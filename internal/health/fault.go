@@ -1,0 +1,96 @@
+package health
+
+import (
+	"vns/internal/netsim"
+	"vns/internal/vns"
+)
+
+// Injector schedules data-plane faults into the simulation. Faults act
+// directly on the fabric's shared links — packets (traffic and hellos
+// alike) start dropping at the scheduled instant — while the control
+// plane stays oblivious until liveness detection catches up. All
+// schedules run in simulated time, so a given scenario is
+// deterministic: the same seed and schedule produce the same packet-
+// level outcome every run.
+type Injector struct {
+	sim *netsim.Sim
+	fab *vns.L2Fabric
+	reg *Registry
+}
+
+// NewInjector builds an injector over the fabric. reg may be nil.
+func NewInjector(sim *netsim.Sim, fab *vns.L2Fabric, reg *Registry) *Injector {
+	return &Injector{sim: sim, fab: fab, reg: reg}
+}
+
+func (in *Injector) count(name string) {
+	if in.reg != nil {
+		in.reg.Inc(name, 1)
+	}
+}
+
+// LinkDownAt administratively downs both directions of the a-b link at
+// simulated time at.
+func (in *Injector) LinkDownAt(at netsim.Time, a, b *vns.PoP) {
+	in.sim.Schedule(at, func() {
+		in.fab.SetAdmin(a, b, true)
+		in.count("fault.link_down")
+	})
+}
+
+// LinkUpAt restores both directions of the a-b link at simulated time
+// at.
+func (in *Injector) LinkUpAt(at netsim.Time, a, b *vns.PoP) {
+	in.sim.Schedule(at, func() {
+		in.fab.SetAdmin(a, b, false)
+		in.count("fault.link_up")
+	})
+}
+
+// FlapLink schedules cycles down/up cycles on the a-b link: down at
+// start + i*period, back up half a period later. The last cycle leaves
+// the link up.
+func (in *Injector) FlapLink(a, b *vns.PoP, start, period netsim.Time, cycles int) {
+	for i := 0; i < cycles; i++ {
+		t := start + netsim.Time(i)*period
+		in.LinkDownAt(t, a, b)
+		in.LinkUpAt(t+period/2, a, b)
+	}
+}
+
+// DelaySpikeAt adds extraMs of one-way delay to both directions of the
+// a-b link at time at, clearing it after durSec.
+func (in *Injector) DelaySpikeAt(at netsim.Time, a, b *vns.PoP, extraMs float64, durSec netsim.Time) {
+	in.sim.Schedule(at, func() {
+		in.fab.SetExtraDelayMs(a, b, extraMs)
+		in.count("fault.delay_spike")
+	})
+	in.sim.Schedule(at+durSec, func() {
+		in.fab.SetExtraDelayMs(a, b, 0)
+	})
+}
+
+// FailPoPAt downs every L2 adjacency of p at time at — a whole-PoP
+// failure (power loss, fiber cut at the site).
+func (in *Injector) FailPoPAt(at netsim.Time, p *vns.PoP) {
+	in.sim.Schedule(at, func() {
+		for _, l := range in.fab.Network().L2Links() {
+			if l[0] == p || l[1] == p {
+				in.fab.SetAdmin(l[0], l[1], true)
+			}
+		}
+		in.count("fault.pop_down")
+	})
+}
+
+// RecoverPoPAt restores every L2 adjacency of p at time at.
+func (in *Injector) RecoverPoPAt(at netsim.Time, p *vns.PoP) {
+	in.sim.Schedule(at, func() {
+		for _, l := range in.fab.Network().L2Links() {
+			if l[0] == p || l[1] == p {
+				in.fab.SetAdmin(l[0], l[1], false)
+			}
+		}
+		in.count("fault.pop_up")
+	})
+}

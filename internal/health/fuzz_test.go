@@ -1,0 +1,31 @@
+package health
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHello drives the hello parser with arbitrary bytes: it must
+// never panic, and every packet it accepts must re-marshal to the
+// identical wire bytes (the format is canonical — every bit is
+// significant).
+func FuzzHello(f *testing.F) {
+	f.Add(Hello{Discriminator: 10<<16 | 3, Seq: 7, State: StateUp, TxIntervalMs: 50, Multiplier: 3}.Marshal())
+	f.Add(Hello{State: StateDown}.Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, HelloSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseHello(data)
+		if err != nil {
+			return
+		}
+		wire := h.Marshal()
+		if !bytes.Equal(wire, data) {
+			t.Fatalf("re-marshal mismatch: in=%x out=%x", data, wire)
+		}
+		h2, err := ParseHello(wire)
+		if err != nil || h2 != h {
+			t.Fatalf("second parse: %v %+v vs %+v", err, h2, h)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package health
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vns/internal/measure"
+)
+
+// Registry is a small metrics registry for the health subsystem:
+// monotonic counters, point-in-time gauges, and latency samples that
+// summarize through internal/measure. It is safe for concurrent use —
+// the monitor increments from the simulation goroutine while a daemon's
+// status ticker renders from another.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	gauges   map[string]float64
+	samples  map[string][]float64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]float64),
+		samples:  make(map[string][]float64),
+	}
+}
+
+// Inc adds d to the named counter.
+func (r *Registry) Inc(name string, d uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += d
+}
+
+// Counter returns the named counter's value.
+func (r *Registry) Counter(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Set stores the named gauge's current value.
+func (r *Registry) Set(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = v
+}
+
+// Gauge returns the named gauge's value.
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Observe appends one sample to the named latency series.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples[name] = append(r.samples[name], v)
+}
+
+// Samples returns a copy of the named series.
+func (r *Registry) Samples(name string) []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]float64(nil), r.samples[name]...)
+}
+
+// Summary summarizes the named series (zero Summary when empty).
+func (r *Registry) Summary(name string) measure.Summary {
+	return measure.Summarize(r.Samples(name))
+}
+
+// Percentile returns the value at quantile q in [0,1] of the named
+// series.
+func (r *Registry) Percentile(name string, q float64) float64 {
+	xs := r.Samples(name)
+	if len(xs) == 0 {
+		return 0
+	}
+	return measure.NewCDF(xs).Percentile(q)
+}
+
+// Render formats every metric as sorted "name value" lines — the
+// daemon's status ticker output. Sample series render as
+// count/mean/p99.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, v := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	}
+	for name, xs := range r.samples {
+		if len(xs) == 0 {
+			continue
+		}
+		s := measure.Summarize(xs)
+		p99 := measure.NewCDF(xs).Percentile(0.99)
+		lines = append(lines, fmt.Sprintf("%s n=%d mean=%.3f p99=%.3f", name, s.N, s.Mean, p99))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

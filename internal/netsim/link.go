@@ -40,10 +40,39 @@ type Link struct {
 	rng       *loss.RNG
 	busyUntil Time
 
+	// adminDown models an administrative or physical fault: every packet
+	// offered to the link is dropped until the link is brought back up.
+	// Toggled by fault injection (internal/health.Injector).
+	adminDown bool
+	// extraDelayMs is a transient delay spike added to every transit
+	// (cross-ocean reroutes, brownouts); 0 means none.
+	extraDelayMs float64
+
 	// Statistics, updated per packet.
-	txPackets uint64
-	txBytes   uint64
-	drops     uint64
+	txPackets  uint64
+	txBytes    uint64
+	drops      uint64
+	dropsLoss  uint64
+	dropsQueue uint64
+	dropsAdmin uint64
+}
+
+// LinkStats is a snapshot of a link's lifetime counters, with drops
+// attributed to their cause so monitoring and experiments can tell
+// stochastic loss from congestion from faults.
+type LinkStats struct {
+	// TxPackets and TxBytes count traffic the link forwarded.
+	TxPackets uint64
+	TxBytes   uint64
+	// Drops is the total packets dropped; the per-cause counters below
+	// partition it.
+	Drops uint64
+	// DropsLoss were taken by the stochastic loss model, DropsQueue by
+	// the FIFO tail drop, DropsAdmin by the link being administratively
+	// down (fault injection).
+	DropsLoss  uint64
+	DropsQueue uint64
+	DropsAdmin uint64
 }
 
 // NewLink constructs a link; rng drives its jitter and must be non-nil
@@ -61,11 +90,17 @@ func NewLink(name string, propDelayMs, bandwidthMbps float64, lm loss.Model, rng
 // transit computes this hop's contribution for a packet entering at now:
 // the total one-way delay in milliseconds, or dropped=true.
 func (l *Link) transit(now Time, size int) (delayMs float64, dropped bool) {
-	if l.Loss != nil && l.Loss.Drop(now) {
+	if l.adminDown {
 		l.drops++
+		l.dropsAdmin++
 		return 0, true
 	}
-	delayMs = l.PropDelayMs
+	if l.Loss != nil && l.Loss.Drop(now) {
+		l.drops++
+		l.dropsLoss++
+		return 0, true
+	}
+	delayMs = l.PropDelayMs + l.extraDelayMs
 	if l.BandwidthMbps > 0 {
 		serMs := float64(size) * 8 / (l.BandwidthMbps * 1e6) * 1000
 		start := now
@@ -73,6 +108,7 @@ func (l *Link) transit(now Time, size int) (delayMs float64, dropped bool) {
 			queued := l.busyUntil - start
 			if l.QueueLimit > 0 && queued > Time(float64(l.QueueLimit)*serMs/1000) {
 				l.drops++
+				l.dropsQueue++
 				return 0, true // tail drop
 			}
 			start = l.busyUntil
@@ -93,11 +129,32 @@ func (l *Link) transit(now Time, size int) (delayMs float64, dropped bool) {
 	return delayMs, false
 }
 
-// Stats returns the link's lifetime counters: packets and bytes
-// forwarded, and packets dropped (loss model or tail drop).
-func (l *Link) Stats() (txPackets, txBytes, drops uint64) {
-	return l.txPackets, l.txBytes, l.drops
+// Stats returns the link's lifetime counters with drops attributed to
+// their cause (loss model, queue tail drop, or admin-down).
+func (l *Link) Stats() LinkStats {
+	return LinkStats{
+		TxPackets:  l.txPackets,
+		TxBytes:    l.txBytes,
+		Drops:      l.drops,
+		DropsLoss:  l.dropsLoss,
+		DropsQueue: l.dropsQueue,
+		DropsAdmin: l.dropsAdmin,
+	}
 }
+
+// SetAdminDown administratively downs (or restores) the link. A downed
+// link drops every packet; the drops are counted as DropsAdmin.
+func (l *Link) SetAdminDown(down bool) { l.adminDown = down }
+
+// AdminDown reports whether the link is administratively down.
+func (l *Link) AdminDown() bool { return l.adminDown }
+
+// SetExtraDelayMs installs (or, with 0, clears) a transient delay spike
+// added to every packet's transit.
+func (l *Link) SetExtraDelayMs(ms float64) { l.extraDelayMs = ms }
+
+// ExtraDelayMs returns the currently installed delay spike.
+func (l *Link) ExtraDelayMs() float64 { return l.extraDelayMs }
 
 // UtilizationMbps returns the mean offered load over a window of
 // simulated seconds, for capacity planning against BandwidthMbps.

@@ -250,20 +250,111 @@ func TestLinkStats(t *testing.T) {
 		p.Send(&s, Packet{Size: 100}, nil, nil)
 	}
 	s.RunAll()
-	tx, bytes, drops := l.Stats()
-	if tx+drops != 1000 {
-		t.Errorf("tx %d + drops %d != 1000", tx, drops)
+	st := l.Stats()
+	if st.TxPackets+st.Drops != 1000 {
+		t.Errorf("tx %d + drops %d != 1000", st.TxPackets, st.Drops)
 	}
-	if drops < 300 || drops > 700 {
-		t.Errorf("drops = %d at 50%% loss", drops)
+	if st.Drops < 300 || st.Drops > 700 {
+		t.Errorf("drops = %d at 50%% loss", st.Drops)
 	}
-	if bytes != tx*100 {
-		t.Errorf("bytes = %d, want %d", bytes, tx*100)
+	if st.DropsLoss != st.Drops || st.DropsQueue != 0 || st.DropsAdmin != 0 {
+		t.Errorf("drop causes %+v: all drops should be loss-model drops", st)
+	}
+	if st.TxBytes != st.TxPackets*100 {
+		t.Errorf("bytes = %d, want %d", st.TxBytes, st.TxPackets*100)
 	}
 	if util := l.UtilizationMbps(1); util <= 0 {
 		t.Errorf("utilization = %v", util)
 	}
 	if l.UtilizationMbps(0) != 0 {
 		t.Error("zero window should give zero utilization")
+	}
+}
+
+func TestLinkAdminDown(t *testing.T) {
+	var s Sim
+	l := NewLink("adm", 5, 0, nil, nil)
+	p := NewPath(l)
+	delivered, dropped := 0, 0
+	send := func() {
+		p.Send(&s, Packet{Size: 100}, func(Packet) { delivered++ }, func(int) { dropped++ })
+	}
+	send()
+	s.RunAll()
+	if delivered != 1 || dropped != 0 {
+		t.Fatalf("up link: delivered=%d dropped=%d", delivered, dropped)
+	}
+
+	l.SetAdminDown(true)
+	if !l.AdminDown() {
+		t.Fatal("AdminDown() false after SetAdminDown(true)")
+	}
+	for i := 0; i < 10; i++ {
+		send()
+	}
+	s.RunAll()
+	if delivered != 1 || dropped != 10 {
+		t.Fatalf("down link: delivered=%d dropped=%d", delivered, dropped)
+	}
+	st := l.Stats()
+	if st.DropsAdmin != 10 || st.Drops != 10 {
+		t.Errorf("drop stats %+v, want 10 admin drops", st)
+	}
+
+	l.SetAdminDown(false)
+	send()
+	s.RunAll()
+	if delivered != 2 {
+		t.Errorf("restored link: delivered=%d, want 2", delivered)
+	}
+}
+
+func TestLinkDelaySpike(t *testing.T) {
+	var s Sim
+	l := NewLink("spike", 10, 0, nil, nil)
+	p := NewPath(l)
+	var arrival Time
+	p.Send(&s, Packet{Size: 100}, func(Packet) { arrival = s.Now() }, nil)
+	s.RunAll()
+	if math.Abs(arrival-0.010) > 1e-9 {
+		t.Fatalf("baseline arrival %.6f, want 0.010", arrival)
+	}
+
+	l.SetExtraDelayMs(25)
+	if l.ExtraDelayMs() != 25 {
+		t.Fatal("ExtraDelayMs not installed")
+	}
+	start := s.Now()
+	p.Send(&s, Packet{Size: 100}, func(Packet) { arrival = s.Now() }, nil)
+	s.RunAll()
+	if got := (arrival - start) * 1000; math.Abs(got-35) > 1e-6 {
+		t.Errorf("spiked transit %.3f ms, want 35", got)
+	}
+
+	l.SetExtraDelayMs(0)
+	start = s.Now()
+	p.Send(&s, Packet{Size: 100}, func(Packet) { arrival = s.Now() }, nil)
+	s.RunAll()
+	if got := (arrival - start) * 1000; math.Abs(got-10) > 1e-6 {
+		t.Errorf("post-spike transit %.3f ms, want 10", got)
+	}
+}
+
+func TestLinkQueueDropCause(t *testing.T) {
+	var s Sim
+	// 1 Mbps, queue limit 1 packet: a burst of large packets tail-drops.
+	l := NewLink("q", 1, 1, nil, nil)
+	l.QueueLimit = 1
+	p := NewPath(l)
+	for i := 0; i < 20; i++ {
+		p.Send(&s, Packet{Size: 1500}, nil, nil)
+	}
+	s.RunAll()
+	st := l.Stats()
+	if st.DropsQueue == 0 {
+		t.Fatalf("no queue drops in overload burst: %+v", st)
+	}
+	if st.Drops != st.DropsQueue || st.DropsLoss != 0 || st.DropsAdmin != 0 {
+		t.Errorf("drop attribution %+v, want all queue", st)
 	}
 }

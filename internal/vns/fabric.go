@@ -1,0 +1,166 @@
+package vns
+
+import (
+	"sync"
+
+	"vns/internal/geo"
+	"vns/internal/loss"
+	"vns/internal/netsim"
+)
+
+// L2Fabric is the deployment's physical internal fabric: exactly one
+// simulated link per directed L2 adjacency, shared by every path that
+// crosses it. Sharing is what makes failures meaningful — downing the
+// LON→ASH link affects every flow and liveness session that traverses
+// it, unlike EmulatedPath, which builds private links per call.
+//
+// The fabric separates the two halves of a failure. SetAdmin downs the
+// data-plane links themselves (fault injection: packets start dropping
+// immediately). SetLinkState updates the control plane's view — the
+// Network IGP — and invalidates composed paths, and is only called once
+// liveness detection has noticed the fault (internal/health).
+type L2Fabric struct {
+	net  *Network
+	opts EmulateOptions
+
+	mu    sync.Mutex
+	links map[[2]int]*netsim.Link // directed, keyed by 1-based PoP id pair
+	order [][2]int                // deterministic iteration order
+	paths map[[2]int]*netsim.Path
+	// blackhole absorbs packets sent toward a PoP the IGP currently has
+	// no path to (transient, between detection and FIB reconvergence).
+	blackhole *netsim.Link
+}
+
+// NewL2Fabric builds the shared links for every directed L2 adjacency,
+// with the same geometry-derived parameters EmulatedPath uses.
+func NewL2Fabric(n *Network, opts EmulateOptions) *L2Fabric {
+	opts = opts.withDefaults()
+	f := &L2Fabric{
+		net:   n,
+		opts:  opts,
+		links: make(map[[2]int]*netsim.Link),
+		paths: make(map[[2]int]*netsim.Path),
+	}
+	rng := loss.NewRNG(opts.Seed ^ 0xFAB21C)
+	for i, l := range n.L2Links() {
+		a, b := l[0], l[1]
+		dist := geo.DistanceKm(a.Place.Pos, b.Place.Pos)
+		for dir, ends := range [][2]*PoP{{a, b}, {b, a}} {
+			from, to := ends[0], ends[1]
+			var lm loss.Model
+			jitter := opts.JitterMsSigma / 10
+			if dist >= 7000 {
+				jitter = opts.JitterMsSigma
+				if opts.LongHaulLoss != nil {
+					lm = opts.LongHaulLoss(rng.Fork(uint64(2*i + dir)))
+				}
+			}
+			link := netsim.NewLink(
+				from.Code+"-"+to.Code,
+				dist/geo.KmPerMsRTT/2,
+				opts.BandwidthMbps,
+				lm,
+				rng.Fork(uint64(2*i+dir)+1000),
+			)
+			link.JitterMsSigma = jitter
+			key := [2]int{from.ID, to.ID}
+			f.links[key] = link
+			f.order = append(f.order, key)
+		}
+	}
+	f.blackhole = netsim.NewLink("unreachable", 0, 0, nil, nil)
+	f.blackhole.SetAdminDown(true)
+	return f
+}
+
+// Network returns the topology the fabric is built over.
+func (f *L2Fabric) Network() *Network { return f.net }
+
+// Link returns the shared directed link between two adjacent PoPs, or
+// nil when no direct L2 link exists.
+func (f *L2Fabric) Link(from, to *PoP) *netsim.Link {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.links[[2]int{from.ID, to.ID}]
+}
+
+// Links returns every directed link in deterministic order, for stats
+// sweeps and loss attribution.
+func (f *L2Fabric) Links() []*netsim.Link {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*netsim.Link, 0, len(f.order))
+	for _, key := range f.order {
+		out = append(out, f.links[key])
+	}
+	return out
+}
+
+// Path implements fib.Fabric: the internal path between two PoPs,
+// composed from the shared links along the current IGP shortest path
+// and cached until the topology changes. A same-PoP path is nil; a pair
+// the IGP cannot currently connect gets a blackhole path, so in-flight
+// traffic drops (as DropsAdmin) instead of being misdelivered.
+func (f *L2Fabric) Path(from, to int) *netsim.Path {
+	if from == to {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := [2]int{from, to}
+	if p, ok := f.paths[key]; ok {
+		return p
+	}
+	pops := f.net.InternalPath(f.net.PoPByID(from), f.net.PoPByID(to))
+	var p *netsim.Path
+	if pops == nil {
+		p = netsim.NewPath(f.blackhole)
+	} else {
+		links := make([]*netsim.Link, 0, len(pops)-1)
+		for i := 1; i < len(pops); i++ {
+			links = append(links, f.links[[2]int{pops[i-1].ID, pops[i].ID}])
+		}
+		p = netsim.NewPath(links...)
+	}
+	f.paths[key] = p
+	return p
+}
+
+// InvalidatePaths drops every composed path, forcing recomposition
+// against the current IGP on next use.
+func (f *L2Fabric) InvalidatePaths() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.paths = make(map[[2]int]*netsim.Path)
+}
+
+// SetAdmin administratively downs (or restores) both directions of the
+// data-plane link between two adjacent PoPs. This is the fault itself:
+// the control plane learns about it only through liveness detection.
+func (f *L2Fabric) SetAdmin(a, b *PoP, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[[2]int{a.ID, b.ID}].SetAdminDown(down)
+	f.links[[2]int{b.ID, a.ID}].SetAdminDown(down)
+}
+
+// SetExtraDelayMs installs a delay spike on both directions of the link
+// between two adjacent PoPs (0 clears it).
+func (f *L2Fabric) SetExtraDelayMs(a, b *PoP, ms float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[[2]int{a.ID, b.ID}].SetExtraDelayMs(ms)
+	f.links[[2]int{b.ID, a.ID}].SetExtraDelayMs(ms)
+}
+
+// SetLinkState is the control-plane reaction to a detected failure or
+// recovery: update the Network's IGP view of the link and recompose
+// paths. It reports whether the view changed.
+func (f *L2Fabric) SetLinkState(a, b *PoP, up bool) bool {
+	changed := f.net.SetL2LinkState(a, b, up)
+	if changed {
+		f.InvalidatePaths()
+	}
+	return changed
+}

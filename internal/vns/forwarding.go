@@ -32,7 +32,7 @@ type ForwardingConfig struct {
 
 // Forwarding is the deployment's forwarding plane: one fib.Publisher
 // and fib.Engine per PoP, compiled from the GeoRR's post-policy routes,
-// plus the cached netsim fabric the engines forward over. It implements
+// plus the shared L2 fabric the engines forward over. It implements
 // fib.Fabric.
 type Forwarding struct {
 	Peering *Peering
@@ -42,13 +42,11 @@ type Forwarding struct {
 	engines map[int]*fib.Engine
 
 	// resolveMu serializes route resolution: Peering's candidate cache
-	// and the netsim path cache are not safe for concurrent mutation,
-	// and publisher flushes may run on debounce-timer goroutines.
+	// is not safe for concurrent mutation, and publisher flushes may run
+	// on debounce-timer goroutines.
 	resolveMu sync.Mutex
 
-	pathMu sync.Mutex
-	paths  map[[2]int]*netsim.Path
-	opts   EmulateOptions
+	fabric *L2Fabric
 }
 
 // NewForwarding compiles the initial per-PoP FIBs and subscribes to the
@@ -60,8 +58,7 @@ func NewForwarding(pr *Peering, rr *core.GeoRR, cfg ForwardingConfig) *Forwardin
 		RR:      rr,
 		pubs:    make(map[int]*fib.Publisher, len(pr.Net.PoPs)),
 		engines: make(map[int]*fib.Engine, len(pr.Net.PoPs)),
-		paths:   make(map[[2]int]*netsim.Path),
-		opts:    cfg.Emulate,
+		fabric:  NewL2Fabric(pr.Net, cfg.Emulate),
 	}
 	for _, p := range pr.Net.PoPs {
 		vantage := p
@@ -110,6 +107,18 @@ func (f *Forwarding) Invalidate(prefix netip.Prefix) {
 	}
 }
 
+// InvalidateAll marks the whole universe dirty at every PoP — the
+// failover controller's reconvergence path after a link or PoP event.
+// Unlike RecompileAll it flows through the dirty-prefix machinery, so
+// prefixes whose next hop is unaffected cost a resolve but no publish
+// (the Publisher's no-spurious-churn fast path).
+func (f *Forwarding) InvalidateAll() {
+	u := f.universe()
+	for _, pub := range f.pubs {
+		pub.Invalidate(u...)
+	}
+}
+
 // Flush forces every pending recompile now (useful with a non-zero
 // debounce when a test or shutdown needs a consistent state).
 func (f *Forwarding) Flush() {
@@ -132,7 +141,7 @@ func (f *Forwarding) resolveLocked(vantage *PoP, prefix netip.Prefix) (fib.NextH
 func (f *Forwarding) resolve(vantage *PoP, prefix netip.Prefix) (fib.NextHop, bool) {
 	for _, s := range f.RR.Statics() {
 		if s.Prefix == prefix {
-			if p, ok := f.Peering.Net.RouterPoP(s.Egress); ok {
+			if p, ok := f.Peering.Net.RouterPoP(s.Egress); ok && f.usable(vantage, p, s.Egress) {
 				return fib.NextHop{PoP: p.ID, Router: s.Egress}, true
 			}
 		}
@@ -142,6 +151,7 @@ func (f *Forwarding) resolve(vantage *PoP, prefix netip.Prefix) (fib.NextHop, bo
 		return fib.NextHop{}, false
 	}
 	cands := f.Peering.Candidates(pi.Origin)
+	cands = f.healthyCandidates(vantage, cands)
 	best, ok := f.Peering.SelectGeo(f.RR, vantage, cands, prefix)
 	if !ok {
 		return fib.NextHop{}, false
@@ -153,24 +163,43 @@ func (f *Forwarding) resolve(vantage *PoP, prefix netip.Prefix) (fib.NextHop, bo
 	}, true
 }
 
-// Path implements fib.Fabric: the internal netsim path between two
-// PoPs, built once and cached so link queueing state persists across
-// the packets of a flow. A same-PoP path is nil (no internal leg).
-func (f *Forwarding) Path(from, to int) *netsim.Path {
-	if from == to {
-		return nil
-	}
-	f.pathMu.Lock()
-	defer f.pathMu.Unlock()
-	key := [2]int{from, to}
-	if p, ok := f.paths[key]; ok {
-		return p
-	}
-	n := f.Peering.Net
-	p := n.EmulatedPath(n.PoPByID(from), n.PoPByID(to), f.opts)
-	f.paths[key] = p
-	return p
+// usable reports whether an egress router at a PoP can currently carry
+// traffic from the vantage: the reflector must not have marked the
+// router down (liveness withdrawal) and the PoP must be IGP-reachable.
+func (f *Forwarding) usable(vantage, at *PoP, router netip.Addr) bool {
+	return !f.RR.EgressDown(router) && f.Peering.Net.Reachable(vantage, at)
 }
+
+// healthyCandidates filters a candidate set down to usable sessions —
+// the forwarding-plane half of route withdrawal. With no failures
+// present it returns the input slice unchanged (no allocation).
+func (f *Forwarding) healthyCandidates(vantage *PoP, cands []Candidate) []Candidate {
+	for i, c := range cands {
+		if !f.usable(vantage, c.Session.PoP, c.Session.Router) {
+			out := make([]Candidate, 0, len(cands)-1)
+			out = append(out, cands[:i]...)
+			for _, c := range cands[i+1:] {
+				if f.usable(vantage, c.Session.PoP, c.Session.Router) {
+					out = append(out, c)
+				}
+			}
+			return out
+		}
+	}
+	return cands
+}
+
+// Path implements fib.Fabric: the internal netsim path between two
+// PoPs over the shared L2 fabric. Links are shared across flows and
+// with the liveness sessions, so queueing state and failures are felt
+// by everything that crosses them. A same-PoP path is nil.
+func (f *Forwarding) Path(from, to int) *netsim.Path {
+	return f.fabric.Path(from, to)
+}
+
+// Fabric returns the shared L2 fabric (fault injection and liveness
+// monitoring hook into it).
+func (f *Forwarding) Fabric() *L2Fabric { return f.fabric }
 
 // Engine returns the forwarding engine of the PoP with the given
 // Figure 11 code ("LON").

@@ -12,6 +12,7 @@ package vns
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 
 	"vns/internal/geo"
 )
@@ -90,6 +91,12 @@ type Network struct {
 	popByID   map[int]*PoP
 	routerPoP map[netip.Addr]*PoP
 
+	// mu guards the IGP state below: link failures (internal/health)
+	// recompute it while forwarding-plane resolvers read it.
+	mu sync.RWMutex
+	// linkDown marks L2 links the control plane considers failed, keyed
+	// by normalized (lower, higher) 0-based PoP index pair.
+	linkDown map[[2]int]bool
 	// links[i][j] is the one-way L2 propagation delay in ms between
 	// PoPs i+1 and j+1, or +Inf when no direct link exists.
 	igp [][]float64
@@ -97,12 +104,16 @@ type Network struct {
 	nextHop [][]int
 }
 
+// igpInf marks unreachable PoP pairs in the IGP matrix.
+const igpInf = 1e18
+
 // NewNetwork builds the eleven-PoP deployment.
 func NewNetwork() *Network {
 	n := &Network{
 		popByCode: make(map[string]*PoP),
 		popByID:   make(map[int]*PoP),
 		routerPoP: make(map[netip.Addr]*PoP),
+		linkDown:  make(map[[2]int]bool),
 	}
 	for _, s := range popSpec {
 		p := &PoP{ID: s.id, Code: s.code, Place: geo.MustLookup(s.city)}
@@ -165,9 +176,9 @@ func (n *Network) HasL2Link(a, b *PoP) bool {
 }
 
 // computeIGP runs all-pairs shortest paths (Floyd–Warshall; eleven
-// nodes) over the L2 links with one-way propagation delay as the metric.
+// nodes) over the up L2 links with one-way propagation delay as the
+// metric. Callers must hold n.mu.
 func (n *Network) computeIGP() {
-	const inf = 1e18
 	k := len(n.PoPs)
 	dist := make([][]float64, k)
 	next := make([][]int, k)
@@ -178,15 +189,18 @@ func (n *Network) computeIGP() {
 			if i == j {
 				dist[i][j] = 0
 			} else {
-				dist[i][j] = inf
+				dist[i][j] = igpInf
 			}
 			next[i][j] = -1
 		}
 	}
 	for _, l := range l2Spec {
 		a, b := n.popByCode[l[0]], n.popByCode[l[1]]
-		d := geo.RTTMs(a.Place.Pos, b.Place.Pos) / 2 // one-way
 		i, j := a.ID-1, b.ID-1
+		if n.linkDown[linkKey(i, j)] {
+			continue
+		}
+		d := geo.RTTMs(a.Place.Pos, b.Place.Pos) / 2 // one-way
 		if d < dist[i][j] {
 			dist[i][j], dist[j][i] = d, d
 			next[i][j], next[j][i] = j, i
@@ -206,18 +220,82 @@ func (n *Network) computeIGP() {
 	n.nextHop = next
 }
 
+// linkKey normalizes a 0-based PoP index pair.
+func linkKey(i, j int) [2]int {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
+// SetL2LinkState marks a direct L2 link up or down in the control
+// plane's view and recomputes the IGP. It reports whether the state
+// actually changed. This is the routing-level half of a failure: the
+// failover controller calls it after liveness detection, while the
+// fault injector downs the corresponding data-plane links directly.
+func (n *Network) SetL2LinkState(a, b *PoP, up bool) bool {
+	if !n.HasL2Link(a, b) {
+		panic(fmt.Sprintf("vns: no L2 link %s-%s", a.Code, b.Code))
+	}
+	key := linkKey(a.ID-1, b.ID-1)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.linkDown[key] == !up {
+		return false
+	}
+	if up {
+		delete(n.linkDown, key)
+	} else {
+		n.linkDown[key] = true
+	}
+	n.computeIGP()
+	return true
+}
+
+// L2LinkDown reports whether the control plane considers the direct
+// link between two PoPs failed.
+func (n *Network) L2LinkDown(a, b *PoP) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.linkDown[linkKey(a.ID-1, b.ID-1)]
+}
+
+// Reachable reports whether b can be reached from a over the up part of
+// the L2 topology.
+func (n *Network) Reachable(a, b *PoP) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.igp[a.ID-1][b.ID-1] < igpInf
+}
+
+// L2Links returns every direct L2 link as a PoP pair, in specification
+// order (liveness monitoring runs one session per entry).
+func (n *Network) L2Links() [][2]*PoP {
+	out := make([][2]*PoP, 0, len(l2Spec))
+	for _, l := range l2Spec {
+		out = append(out, [2]*PoP{n.popByCode[l[0]], n.popByCode[l[1]]})
+	}
+	return out
+}
+
 // IGPMetricMs returns the one-way internal delay between two PoPs over
-// the L2 topology; it is the IGP metric of the decision process.
+// the L2 topology; it is the IGP metric of the decision process. An
+// unreachable pair (partition under failures) reports igpInf.
 func (n *Network) IGPMetricMs(a, b *PoP) float64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.igp[a.ID-1][b.ID-1]
 }
 
 // InternalPath returns the PoP sequence of the shortest internal path
-// from a to b, inclusive of both endpoints.
+// from a to b, inclusive of both endpoints, over the up L2 links. It
+// returns nil when b is unreachable from a.
 func (n *Network) InternalPath(a, b *PoP) []*PoP {
 	if a == b {
 		return []*PoP{a}
 	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	i, j := a.ID-1, b.ID-1
 	if n.nextHop[i][j] == -1 {
 		return nil

@@ -300,15 +300,21 @@ func (pr *Peering) candidateRoute(vantage *PoP, c Candidate, prefix netip.Prefix
 	if pathLen > len(dummyPath) {
 		pathLen = len(dummyPath)
 	}
+	// The IGP metric is the microsecond-scale internal delay; the PoP ID
+	// breaks exact ties deterministically. Unreachable PoPs (partitions
+	// under link failures) clamp to a huge finite metric so the route
+	// ranks last instead of overflowing the conversion.
+	igpMs := pr.Net.IGPMetricMs(vantage, c.Session.PoP)
+	if igpMs > 1e9 {
+		igpMs = 1e9
+	}
 	r := &rib.Route{
-		Prefix:   prefix,
-		EBGP:     c.Session.PoP == vantage,
-		PeerAS:   c.Session.Neighbor.ASN,
-		PeerID:   c.Session.Router,
-		PeerAddr: c.Session.peerAddr,
-		// The IGP metric is the microsecond-scale internal delay; the
-		// PoP ID breaks exact ties deterministically.
-		IGPMetric: int(pr.Net.IGPMetricMs(vantage, c.Session.PoP)*1000) + c.Session.PoP.ID,
+		Prefix:    prefix,
+		EBGP:      c.Session.PoP == vantage,
+		PeerAS:    c.Session.Neighbor.ASN,
+		PeerID:    c.Session.Router,
+		PeerAddr:  c.Session.peerAddr,
+		IGPMetric: int(igpMs*1000) + c.Session.PoP.ID,
 	}
 	if pathLen > 0 {
 		r.Attrs.ASPath = []bgp.ASPathSegment{{ASNs: dummyPath[:pathLen]}}
