@@ -1,0 +1,97 @@
+// Command vnslint is the VNS static-analysis multichecker: it runs the
+// five domain-specific analyzers in internal/analysis over the
+// packages matched by its arguments and exits nonzero on any finding.
+//
+//	go run ./cmd/vnslint ./...
+//
+// Analyzers (see DESIGN.md "Enforced invariants"):
+//
+//	simclock      no wall-clock time or global math/rand in
+//	              virtual-clock packages        (//vnslint:wallclock)
+//	atomicpub     atomic.Pointer fields only via atomic methods; no
+//	              writes through snapshots      (//vnslint:atomic)
+//	lockcallback  no callbacks or channel sends under a held Mutex
+//	                                            (//vnslint:lockheld)
+//	wirebounds    codec slice accesses dominated by a len() guard
+//	                                            (//vnslint:bounds)
+//	errdrop       no discarded conn/writer errors in session/mgmt
+//	              paths                         (//vnslint:errok)
+//
+// Flags:
+//
+//	-only name[,name]   run only the named analyzers
+//	-list               print the analyzers and exit
+//
+// vnslint must run from inside the module: it resolves imports from
+// source via the go command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vns/internal/analysis"
+	"vns/internal/analysis/atomicpub"
+	"vns/internal/analysis/errdrop"
+	"vns/internal/analysis/lockcallback"
+	"vns/internal/analysis/simclock"
+	"vns/internal/analysis/wirebounds"
+)
+
+var all = []*analysis.Analyzer{
+	simclock.Analyzer,
+	atomicpub.Analyzer,
+	lockcallback.Analyzer,
+	wirebounds.Analyzer,
+	errdrop.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vnslint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, loader, err := analysis.Run(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnslint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", loader.Fset().Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "vnslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,167 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API surface, built entirely on the
+// standard library's go/ast, go/types and go/importer.
+//
+// The repository intentionally has zero external module dependencies
+// (go.mod lists none, and CI builds must work offline), so the x/tools
+// framework itself is not importable. This package mirrors its core
+// contract — an Analyzer owns a Run function over a type-checked Pass
+// and emits position-anchored Diagnostics — closely enough that the
+// vnslint analyzers could be ported to the real framework by changing
+// imports, should the module ever grow the dependency.
+//
+// On top of the x/tools shape it adds the one domain feature vnslint
+// needs everywhere: //vnslint: suppression directives. A comment
+//
+//	//vnslint:wallclock
+//
+// on the offending line, or alone on the line directly above it,
+// suppresses any diagnostic whose Analyzer.Directive is "wallclock".
+// Every intentional violation in the tree must carry such an
+// annotation; the directive doubles as greppable documentation of the
+// exception.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. It mirrors x/tools' analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is a one-paragraph description: the invariant enforced and
+	// why it matters.
+	Doc string
+	// Directive is the //vnslint:<name> suppression word for this
+	// analyzer (e.g. "wallclock"). Reportf honors it automatically.
+	Directive string
+	// Scope, when non-nil, restricts which package import paths the
+	// multichecker driver applies this analyzer to. Tests bypass it:
+	// analysistest always runs the analyzer on the fixture package.
+	Scope func(pkgPath string) bool
+	// Run performs the check and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one type-checked package through one analyzer, exactly
+// like x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	directives map[string]map[int][]string // filename -> line -> directive names
+}
+
+// NewPass assembles a Pass over a loaded package for one analyzer,
+// scanning its files for //vnslint: directives.
+func NewPass(a *Analyzer, pkg *Package) *Pass {
+	p := &Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.TypesInfo,
+		directives: map[string]map[int][]string{},
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//vnslint:")
+				if !ok {
+					continue
+				}
+				// Directive names end at the first space; anything after
+				// is free-form justification.
+				text, _, _ = strings.Cut(text, " ")
+				pos := p.Fset.Position(c.Pos())
+				m := p.directives[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					p.directives[pos.Filename] = m
+				}
+				for _, name := range strings.Split(text, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						m[pos.Line] = append(m[pos.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Allowed reports whether a //vnslint:<name> directive covers pos: on
+// the same line, or alone on the line immediately above.
+func (p *Pass) Allowed(pos token.Pos, name string) bool {
+	position := p.Fset.Position(pos)
+	m := p.directives[position.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{position.Line, position.Line - 1} {
+		for _, d := range m[line] {
+			if d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic unless a matching suppression directive
+// covers pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Analyzer.Directive != "" && p.Allowed(pos, p.Analyzer.Directive) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings reported so far, in position order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool { return p.diags[i].Pos < p.diags[j].Pos })
+	return p.diags
+}
+
+// Parents maps every AST node in the pass's files to its parent node,
+// for analyzers that must inspect the context of an expression (e.g.
+// whether a field selection is the receiver of a method call).
+func (p *Pass) Parents() map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return parents
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadSnippet type-checks one source string as a package and returns
+// it.
+func loadSnippet(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader().LoadFiles("a", []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+const directiveSrc = `package a
+
+func f() int {
+	x := 1 //vnslint:one same-line justification
+	//vnslint:two,three stacked names
+	y := 2
+	z := 3
+	return x + y + z
+}
+`
+
+func TestDirectives(t *testing.T) {
+	a := &Analyzer{Name: "t", Directive: "one"}
+	pkg := loadSnippet(t, directiveSrc)
+	pass := NewPass(a, pkg)
+
+	posOnLine := func(line int) token.Pos {
+		t.Helper()
+		for _, f := range pkg.Files {
+			for n := f.Pos(); n < f.End(); n++ {
+				if pkg.Fset.Position(n).Line == line {
+					return n
+				}
+			}
+		}
+		t.Fatalf("no position on line %d", line)
+		return token.NoPos
+	}
+
+	cases := []struct {
+		line int
+		name string
+		want bool
+	}{
+		{4, "one", true},   // same line
+		{4, "two", false},  // wrong name
+		{5, "one", true},   // every directive covers its own line and the next
+		{6, "two", true},   // line above
+		{6, "three", true}, // comma-separated second name
+		{7, "two", false},  // directive does not reach two lines down
+		{8, "one", false},  // unannotated line
+	}
+	for _, c := range cases {
+		pos := posOnLine(c.line)
+		if got := pass.Allowed(pos, c.name); got != c.want {
+			t.Errorf("Allowed(line %d, %q) = %v, want %v", c.line, c.name, got, c.want)
+		}
+	}
+
+	// Reportf must auto-suppress the analyzer's own directive.
+	pass.Reportf(posOnLine(4), "suppressed")
+	pass.Reportf(posOnLine(8), "kept")
+	diags := pass.Diagnostics()
+	if len(diags) != 1 || diags[0].Message != "kept" {
+		t.Errorf("Diagnostics() = %+v, want exactly the unsuppressed one", diags)
+	}
+}
+
+func TestPathIn(t *testing.T) {
+	scope := PathIn("vns/internal/bgp", "vns/internal/health")
+	if !scope("vns/internal/bgp") || scope("vns/internal/bgp/sub") || scope("vns/internal/fib") {
+		t.Error("PathIn must match exact import paths only")
+	}
+}
+
+func TestParents(t *testing.T) {
+	pkg := loadSnippet(t, "package a\n\nfunc f() int { return 1 + 2 }\n")
+	a := &Analyzer{Name: "t"}
+	pass := NewPass(a, pkg)
+	parents := pass.Parents()
+	if len(parents) == 0 {
+		t.Fatal("Parents() returned an empty map")
+	}
+	// Every non-file node must have a parent.
+	for n, p := range parents {
+		if p == nil {
+			t.Errorf("node %T has nil parent", n)
+		}
+	}
+}

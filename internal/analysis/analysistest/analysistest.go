@@ -1,0 +1,171 @@
+// Package analysistest runs a vnslint analyzer over fixture packages
+// under testdata/src and checks its diagnostics against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line that should be flagged carries a trailing comment of
+// one or more quoted regular expressions:
+//
+//	time.Now() // want `wall clock`
+//	a, b := f() // want "first" "second"
+//
+// Every diagnostic on a line must match one (still unmatched)
+// expectation on that line, and every expectation must be matched by
+// exactly one diagnostic; anything else fails the test.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vns/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies
+// the analyzer (ignoring its Scope), and compares diagnostics against
+// the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := loader.LoadDir(name, dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		pass := analysis.NewPass(a, pkg)
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, name, err)
+		}
+		check(t, loader.Fset(), dir, pass.Diagnostics())
+	}
+}
+
+// expectation is one want regexp on one fixture line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts expectations from every fixture file in dir.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			for _, raw := range splitQuoted(m[1]) {
+				pattern, err := unquote(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", path, i+1, raw, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pattern, err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re, raw: raw})
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted splits `"a b" "c"` or backquoted forms into raw quoted
+// tokens.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[:end+2])
+		s = s[end+2:]
+	}
+}
+
+func unquote(raw string) (string, error) {
+	if strings.HasPrefix(raw, "`") {
+		return strings.Trim(raw, "`"), nil
+	}
+	return strconv.Unquote(raw)
+}
+
+// check matches diagnostics against expectations one-to-one.
+func check(t *testing.T, fset *token.FileSet, dir string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, dir)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || !sameFile(w.file, pos.Filename) || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	if a == b {
+		return true
+	}
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}

@@ -1,0 +1,127 @@
+// Package atomicpub enforces the FIB publication discipline around
+// sync/atomic.Pointer fields.
+//
+// The forwarding plane publishes immutable FIB compiles through an
+// atomic.Pointer[FIB] (internal/fib.Publisher): readers Load a
+// snapshot with no lock, so the two ways to corrupt the scheme are
+// (1) touching the pointer field other than through its atomic
+// methods — copying it, taking its address for non-atomic use, or
+// reading it as a plain value — and (2) writing through a loaded
+// snapshot, mutating a trie that concurrent readers are traversing.
+// Both are data races the compiler accepts silently; this analyzer
+// rejects them.
+//
+// The write-through-snapshot rule is syntactic: it catches direct
+// forms like p.cur.Load().field = v. Mutation through a variable
+// bound to a snapshot is out of reach of a single-pass syntactic
+// check and remains the race detector's job.
+package atomicpub
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vns/internal/analysis"
+)
+
+// allowedMethods are the atomic accessors that may touch an
+// atomic.Pointer field.
+var allowedMethods = map[string]bool{
+	"Load":           true,
+	"Store":          true,
+	"Swap":           true,
+	"CompareAndSwap": true,
+}
+
+// Analyzer is the atomicpub check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicpub",
+	Doc:       "atomic.Pointer fields only via Load/Store/CompareAndSwap; no writes through snapshots",
+	Directive: "atomic",
+	Run:       run,
+}
+
+// isAtomicPointer reports whether t is sync/atomic.Pointer[T]
+// (possibly behind a pointer).
+func isAtomicPointer(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}
+
+func run(pass *analysis.Pass) error {
+	parents := pass.Parents()
+
+	// isLoadCall reports whether e is a call of the Load method on an
+	// atomic.Pointer value.
+	isLoadCall := func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Load" {
+			return false
+		}
+		s := pass.TypesInfo.Selections[sel]
+		return s != nil && s.Kind() == types.MethodVal && isAtomicPointer(s.Recv())
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				// Rule 1: a selection of an atomic.Pointer struct field
+				// is legal only as the receiver of an allowed method.
+				s := pass.TypesInfo.Selections[n]
+				if s == nil || s.Kind() != types.FieldVal || !isAtomicPointer(s.Type()) {
+					return true
+				}
+				if m, ok := parents[n].(*ast.SelectorExpr); ok && m.X == n && allowedMethods[m.Sel.Name] {
+					if call, ok := parents[m].(*ast.CallExpr); ok && call.Fun == m {
+						return true
+					}
+				}
+				pass.Reportf(n.Pos(),
+					"atomic.Pointer field %s may only be accessed via Load/Store/Swap/CompareAndSwap",
+					n.Sel.Name)
+
+			case *ast.AssignStmt:
+				// Rule 2: no assignment whose destination dereferences a
+				// freshly loaded snapshot.
+				for _, lhs := range n.Lhs {
+					reportSnapshotWrite(pass, lhs, isLoadCall)
+				}
+			case *ast.IncDecStmt:
+				reportSnapshotWrite(pass, n.X, isLoadCall)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportSnapshotWrite flags lhs if any subexpression is a Load() call
+// on an atomic.Pointer — i.e. the statement writes through a published
+// snapshot.
+func reportSnapshotWrite(pass *analysis.Pass, lhs ast.Expr, isLoadCall func(ast.Expr) bool) {
+	ast.Inspect(lhs, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isLoadCall(e) {
+			pass.Reportf(lhs.Pos(),
+				"write through an atomic.Pointer snapshot: published values are immutable; build a new value and Store it")
+			return false
+		}
+		return true
+	})
+}

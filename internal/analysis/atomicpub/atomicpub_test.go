@@ -1,0 +1,12 @@
+package atomicpub_test
+
+import (
+	"testing"
+
+	"vns/internal/analysis/analysistest"
+	"vns/internal/analysis/atomicpub"
+)
+
+func TestAtomicPub(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicpub.Analyzer, "a")
+}

@@ -1,0 +1,42 @@
+// Fixture for the atomicpub analyzer: atomic.Pointer fields may only
+// be touched through their atomic methods, and published snapshots
+// are immutable.
+package a
+
+import "sync/atomic"
+
+type table struct {
+	root    *int
+	version int
+}
+
+type publisher struct {
+	cur atomic.Pointer[table]
+}
+
+func allowed(p *publisher, t *table) {
+	p.cur.Store(t)
+	_ = p.cur.Load()
+	_ = p.cur.Swap(t)
+	_ = p.cur.CompareAndSwap(nil, t)
+
+	// Reading through a snapshot is fine; snapshots are immutable, not
+	// secret.
+	snap := p.cur.Load()
+	_ = snap.version
+}
+
+func flagged(p *publisher, t *table) {
+	c := p.cur // want `atomic\.Pointer field cur may only be accessed via`
+	_ = c
+	ptr := &p.cur // want `atomic\.Pointer field cur may only be accessed via`
+	_ = ptr
+
+	p.cur.Load().version = 2 // want `write through an atomic\.Pointer snapshot`
+	p.cur.Load().version++   // want `write through an atomic\.Pointer snapshot`
+}
+
+func annotated(p *publisher) {
+	//vnslint:atomic stable address needed for a debug registry; never dereferenced non-atomically
+	_ = &p.cur
+}

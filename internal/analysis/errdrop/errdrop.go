@@ -1,0 +1,142 @@
+// Package errdrop flags silently discarded error results on
+// connection and writer operations in the session and management
+// paths.
+//
+// A BGP session that ignores a failed SetDeadline keeps a dead
+// connection in Established until the hold timer fires much later; a
+// management handler that ignores a failed write reports success for
+// a command the operator never saw confirmed. Those paths must handle
+// write-side errors, so a call statement that drops one is rejected.
+//
+// Only implicit discards are flagged — an expression statement whose
+// call returns an error nobody binds. Assigning the error explicitly
+// (`_ = conn.Write(b)` or `_, _ = ...`) is a visible, greppable
+// decision and stays legal, as does a deferred call. Writers that
+// cannot fail (strings.Builder, bytes.Buffer) are exempt. Remaining
+// intentional drops carry //vnslint:errok.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vns/internal/analysis"
+)
+
+// flaggedMethods are the connection/writer operations whose error
+// results matter on the scoped paths.
+var flaggedMethods = map[string]bool{
+	"Write":            true,
+	"WriteString":      true,
+	"WriteByte":        true,
+	"WriteRune":        true,
+	"WriteTo":          true,
+	"ReadFrom":         true,
+	"Flush":            true,
+	"Close":            false, // defer x.Close() noise outweighs the signal
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// fprintFuncs are the fmt functions that write to an io.Writer first
+// argument.
+var fprintFuncs = map[string]bool{
+	"Fprint":   true,
+	"Fprintf":  true,
+	"Fprintln": true,
+}
+
+// Analyzer is the errdrop check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "errdrop",
+	Doc:       "no silently discarded errors on conn/writer operations in session and mgmt paths",
+	Directive: "errok",
+	Scope: analysis.PathIn(
+		"vns/internal/core",
+		"vns/internal/bgp",
+	),
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) {
+				return true
+			}
+			if s := pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+				if flaggedMethods[sel.Sel.Name] && !infallibleWriter(s.Recv()) {
+					pass.Reportf(call.Pos(),
+						"%s error discarded: handle it or assign it explicitly (`_ =`), or annotate with //vnslint:errok",
+						sel.Sel.Name)
+				}
+				return true
+			}
+			// Package function: fmt.Fprint* writing to a fallible writer.
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				fprintFuncs[fn.Name()] && len(call.Args) > 0 {
+				if t := pass.TypesInfo.Types[call.Args[0]].Type; t != nil && !infallibleWriter(t) {
+					pass.Reportf(call.Pos(),
+						"fmt.%s error discarded: the write to %s can fail; handle it, assign it explicitly, or annotate with //vnslint:errok",
+						fn.Name(), types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's last result is error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isError(t.At(t.Len()-1).Type())
+	default:
+		return isError(tv.Type)
+	}
+}
+
+func isError(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// infallibleWriter reports whether writes to t cannot return a
+// non-nil error (strings.Builder, bytes.Buffer).
+func infallibleWriter(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

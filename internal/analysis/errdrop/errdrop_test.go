@@ -1,0 +1,25 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"vns/internal/analysis/analysistest"
+	"vns/internal/analysis/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errdrop.Analyzer, "a")
+}
+
+// TestScope pins the analyzer to the session and management paths.
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"vns/internal/core": true,
+		"vns/internal/bgp":  true,
+		"vns/internal/vns":  false,
+	} {
+		if got := errdrop.Analyzer.Scope(path); got != want {
+			t.Errorf("Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

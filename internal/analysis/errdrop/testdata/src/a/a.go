@@ -1,0 +1,54 @@
+// Fixture for the errdrop analyzer: implicitly discarded errors on
+// conn/writer operations are flagged; explicit discards, handled
+// errors, infallible writers, and annotated drops are not.
+package a
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+func flagged(conn net.Conn, w *bufio.Writer, t time.Time, b []byte) {
+	conn.Write(b)             // want `Write error discarded`
+	conn.SetDeadline(t)       // want `SetDeadline error discarded`
+	conn.SetReadDeadline(t)   // want `SetReadDeadline error discarded`
+	conn.SetWriteDeadline(t)  // want `SetWriteDeadline error discarded`
+	w.Flush()                 // want `Flush error discarded`
+	w.WriteString("hi")       // want `WriteString error discarded`
+	fmt.Fprintf(conn, "ok\n") // want `fmt\.Fprintf error discarded`
+	fmt.Fprintln(w, "ok")     // want `fmt\.Fprintln error discarded`
+}
+
+func allowed(conn net.Conn, t time.Time, b []byte) error {
+	if _, err := conn.Write(b); err != nil {
+		return err
+	}
+	if err := conn.SetReadDeadline(t); err != nil {
+		return err
+	}
+
+	// An explicit blank assignment is a visible, greppable decision.
+	_ = conn.SetWriteDeadline(t)
+	_, _ = conn.Write(b)
+
+	// Writers that cannot fail are exempt.
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ok")
+	sb.WriteString("ok")
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "ok")
+	buf.WriteString("ok")
+
+	// Close is deliberately outside the method set (defer-close idiom).
+	defer conn.Close()
+	conn.Close()
+	return nil
+}
+
+func annotated(conn net.Conn, b []byte) {
+	conn.Write(b) //vnslint:errok best-effort courtesy notification on an already-failed session
+}

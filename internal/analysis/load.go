@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, ready for analysis.
+type Package struct {
+	// Path is the import path ("vns/internal/fib", or the fixture name
+	// under analysistest).
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks packages from source. It wraps the
+// standard library's "source" importer, which compiles dependencies —
+// both standard library and intra-module — from their .go files, so no
+// export data or network access is needed. Intra-module import paths
+// resolve through the go command, which requires the process working
+// directory to be inside the module (true for `go run ./cmd/vnslint`
+// and `go test`).
+//
+// One Loader should be reused across packages: the underlying importer
+// caches every dependency it compiles, so the standard library is
+// type-checked once per process, not once per target package.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader creates a Loader with a fresh FileSet and importer cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Fset returns the loader's file set; all loaded packages share it.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadFiles parses the named files as one package with import path
+// path and type-checks them. Type errors fail the load: analyzers
+// require complete type information.
+func (l *Loader) LoadFiles(path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", fn, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("package %s has no Go files", path)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Types: pkg, TypesInfo: info}, nil
+}
+
+// LoadDir loads the non-test Go files of one directory as the package
+// with import path path.
+func (l *Loader) LoadDir(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		filenames = append(filenames, filepath.Join(dir, name))
+	}
+	sort.Strings(filenames)
+	return l.LoadFiles(path, filenames)
+}

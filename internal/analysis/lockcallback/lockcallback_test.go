@@ -1,0 +1,12 @@
+package lockcallback_test
+
+import (
+	"testing"
+
+	"vns/internal/analysis/analysistest"
+	"vns/internal/analysis/lockcallback"
+)
+
+func TestLockCallback(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockcallback.Analyzer, "a")
+}

@@ -1,0 +1,71 @@
+// Fixture for the lockcallback analyzer: callbacks and channel sends
+// under a held Mutex/RWMutex are flagged; the snapshot-then-notify
+// pattern, plain method calls, and annotated exceptions are not.
+package a
+
+import "sync"
+
+type notifier struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	cb  func(int)
+	ch  chan int
+	cbs []func(int)
+}
+
+func (n *notifier) flaggedExplicitUnlock(v int) {
+	n.mu.Lock()
+	n.cb(v)   // want `callback invoked while holding n\.mu`
+	n.ch <- v // want `channel send while holding n\.mu`
+	n.mu.Unlock()
+	n.cb(v) // released: legal
+}
+
+func (n *notifier) flaggedDeferred(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, fn := range n.cbs {
+		fn(v) // want `callback invoked while holding n\.mu`
+	}
+}
+
+func (n *notifier) flaggedRWMutex(v int) {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	n.cb(v) // want `callback invoked while holding n\.rw`
+}
+
+func (n *notifier) helper() {}
+
+func (n *notifier) allowedMethodCall() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.helper() // a method, not a function-valued callback
+}
+
+func (n *notifier) allowedSnapshotPattern(v int) {
+	n.mu.Lock()
+	cbs := n.cbs
+	n.mu.Unlock()
+	for _, fn := range cbs {
+		fn(v)
+	}
+	n.ch <- v
+}
+
+func (n *notifier) allowedLiteralRunsLater() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// The literal body executes on another goroutine, after this
+	// function (and its critical section) has completed.
+	go func() {
+		n.ch <- 1
+	}()
+}
+
+func (n *notifier) annotated(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//vnslint:lockheld cb is documented to be lock-safe and must observe pre-publication state
+	n.cb(v)
+}

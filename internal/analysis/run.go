@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the slice of `go list -json` output the driver
+// needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// listPackages expands package patterns (e.g. "./...") into concrete
+// packages by invoking the go command, the same resolution `go vet`
+// uses.
+func listPackages(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = nil
+	stderr := &prefixCapture{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.buf)
+	}
+	return pkgs, nil
+}
+
+type prefixCapture struct{ buf []byte }
+
+func (c *prefixCapture) Write(p []byte) (int, error) {
+	if len(c.buf) < 4096 {
+		c.buf = append(c.buf, p...)
+	}
+	return len(p), nil
+}
+
+// Run loads every package matched by patterns and applies each
+// analyzer whose Scope accepts the package's import path. It returns
+// all diagnostics in (file, position) order.
+func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, *Loader, error) {
+	listed, err := listPackages(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	loader := NewLoader()
+	var diags []Diagnostic
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var wanted []*Analyzer
+		for _, a := range analyzers {
+			if a.Scope == nil || a.Scope(lp.ImportPath) {
+				wanted = append(wanted, a)
+			}
+		}
+		if len(wanted) == 0 {
+			continue
+		}
+		filenames := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			filenames[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := loader.LoadFiles(lp.ImportPath, filenames)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, a := range wanted {
+			pass := NewPass(a, pkg)
+			if err := a.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, lp.ImportPath, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+	}
+	return diags, loader, nil
+}
+
+// PathIn returns a Scope predicate accepting exactly the given import
+// paths.
+func PathIn(paths ...string) func(string) bool {
+	set := map[string]bool{}
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(path string) bool { return set[path] }
+}

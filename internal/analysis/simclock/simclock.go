@@ -1,0 +1,87 @@
+// Package simclock forbids wall-clock time and the global math/rand
+// RNG in packages driven by the netsim virtual clock.
+//
+// The paper's delay results derive purely from great-circle geometry
+// evaluated in simulated time: one call to time.Now in a sim-driven
+// path silently couples results to host scheduling, and one global
+// rand call breaks run-to-run determinism. Both bugs pass every test
+// on a fast machine and corrupt science on a slow one, so they are
+// banned mechanically.
+//
+// The few legitimate wall-clock uses in scoped packages (measuring
+// real compute time of a FIB build, the Publisher's real-time debounce
+// timer) carry a //vnslint:wallclock annotation.
+package simclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"vns/internal/analysis"
+)
+
+// forbiddenTime is the set of time-package functions that read or wait
+// on the wall clock. Pure types and arithmetic (time.Duration,
+// time.Time math) stay legal.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer is the simclock check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "simclock",
+	Doc:       "forbid wall-clock time and global math/rand in virtual-clock packages",
+	Directive: "wallclock",
+	Scope: analysis.PathIn(
+		"vns/internal/netsim",
+		"vns/internal/vns",
+		"vns/internal/fib",
+		"vns/internal/health",
+		"vns/internal/experiments",
+	),
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTime[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock in a virtual-clock package; use the netsim clock, or annotate with //vnslint:wallclock",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Package-level functions share the global RNG; methods
+				// on an explicitly seeded *rand.Rand are deterministic
+				// and stay legal, as are the New* constructors used to
+				// build one.
+				if fn.Signature().Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(sel.Pos(),
+						"global rand.%s is nondeterministic in a virtual-clock package; use a seeded *rand.Rand (or loss.NewRNG)",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

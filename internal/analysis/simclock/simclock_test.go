@@ -1,0 +1,31 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"vns/internal/analysis/analysistest"
+	"vns/internal/analysis/simclock"
+)
+
+func TestSimclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), simclock.Analyzer, "a")
+}
+
+// TestScope pins the set of virtual-clock packages: sim-driven paths
+// are in, the real-TCP bgp.Session and the mgmt server are out.
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"vns/internal/netsim":      true,
+		"vns/internal/vns":         true,
+		"vns/internal/fib":         true,
+		"vns/internal/health":      true,
+		"vns/internal/experiments": true,
+		"vns/internal/bgp":         false,
+		"vns/internal/core":        false,
+		"vns/cmd/vnsd":             false,
+	} {
+		if got := simclock.Analyzer.Scope(path); got != want {
+			t.Errorf("Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Fixture for the simclock analyzer: wall-clock reads and global
+// math/rand are flagged; time arithmetic, seeded RNGs, and annotated
+// exceptions are not.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func flagged() {
+	_ = time.Now()                             // want `time\.Now reads the wall clock`
+	_ = time.Since(time.Time{})                // want `time\.Since reads the wall clock`
+	time.Sleep(time.Millisecond)               // want `time\.Sleep reads the wall clock`
+	_ = time.After(time.Second)                // want `time\.After reads the wall clock`
+	_ = time.Tick(time.Second)                 // want `time\.Tick reads the wall clock`
+	_ = time.NewTimer(time.Second)             // want `time\.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Second)            // want `time\.NewTicker reads the wall clock`
+	_ = time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc reads the wall clock`
+
+	_ = rand.Intn(4)                   // want `global rand\.Intn is nondeterministic`
+	_ = rand.Float64()                 // want `global rand\.Float64 is nondeterministic`
+	rand.Shuffle(2, func(i, j int) {}) // want `global rand\.Shuffle is nondeterministic`
+}
+
+func annotatedSameLine() {
+	_ = time.Now() //vnslint:wallclock measuring real compute cost
+}
+
+func annotatedLineAbove() {
+	//vnslint:wallclock real-time debounce, not simulated time
+	_ = time.AfterFunc(time.Second, func() {})
+}
+
+func allowed() {
+	// Duration arithmetic and Time math never read the clock.
+	d := 5 * time.Millisecond
+	var t0 time.Time
+	_ = t0.Add(d)
+
+	// A seeded RNG is deterministic; constructing one is legal.
+	r := rand.New(rand.NewSource(1))
+	_ = r.Intn(4)
+	_ = r.Float64()
+}

@@ -1,0 +1,65 @@
+// Fixture for the wirebounds analyzer: codec accesses into a byte
+// slice must be dominated by a len() guard on that same slice.
+package a
+
+import "encoding/binary"
+
+func flaggedUnguarded(buf []byte) uint16 {
+	_ = buf[0]                          // want `access to buf is not dominated by a len\(buf\) guard`
+	_ = buf[2:4]                        // want `access to buf is not dominated by a len\(buf\) guard`
+	_ = buf[1:]                         // want `access to buf is not dominated by a len\(buf\) guard`
+	return binary.BigEndian.Uint16(buf) // want `access to buf is not dominated by a len\(buf\) guard`
+}
+
+func flaggedWrongBuffer(a, b []byte) byte {
+	// Guarding a does not guard b.
+	if len(a) < 4 {
+		return 0
+	}
+	return b[3] // want `access to b is not dominated by a len\(b\) guard`
+}
+
+func allowedGuarded(buf []byte) uint16 {
+	if len(buf) < 4 {
+		return 0
+	}
+	_ = buf[0]
+	_ = buf[2:4]
+	return binary.BigEndian.Uint16(buf[0:2])
+}
+
+func allowedLoopGuard(buf []byte) int {
+	n := 0
+	for len(buf) > 0 {
+		size := int(buf[0])
+		if len(buf) < 1+size {
+			return -1
+		}
+		buf = buf[1+size:]
+		n++
+	}
+	return n
+}
+
+func allowedConstructed(v uint32) []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint32(out[0:4], v)
+	out = append(out, 1)
+	_ = out[4:]
+	return out
+}
+
+func allowedArray() byte {
+	var hdr [19]byte
+	_ = hdr[:] // full slice of anything is always safe
+	return hdr[16]
+}
+
+func annotated(body []byte, w int) []byte {
+	if len(body) < 2+w {
+		return nil
+	}
+	rest := body[2:]
+	//vnslint:bounds len(body) >= 2+w implies len(rest) >= w
+	return rest[:w]
+}

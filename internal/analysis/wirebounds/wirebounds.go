@@ -1,0 +1,194 @@
+// Package wirebounds flags byte-slice accesses in the wire codecs
+// that are not visibly dominated by a length guard — the panic class
+// FuzzUnmarshal and FuzzHello hunt at runtime, caught at compile time.
+//
+// RFC 4271 wire handling means slicing attacker-controlled buffers:
+// buf[i:j], buf[k], and binary.BigEndian.UintNN(buf) all panic on a
+// truncated input. The codecs' discipline is to check len(buf) before
+// touching buf; this analyzer enforces the discipline syntactically.
+//
+// For every index, slice, or binary.BigEndian access whose base is a
+// named []byte value, the enclosing function must contain, at an
+// earlier position, a len(<base>) expression (any comparison or loop
+// condition mentioning the buffer's length counts as the guard). Bases
+// the function itself constructs with make, append, or a []byte
+// conversion are writer-side buffers of known size and are exempt, as
+// are fixed-size arrays. A guard the analyzer cannot see (bounds
+// established through arithmetic on another buffer's length) must
+// either be rewritten against the sliced buffer itself — almost always
+// clearer — or carry //vnslint:bounds with a justification.
+package wirebounds
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"vns/internal/analysis"
+)
+
+// Analyzer is the wirebounds check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "wirebounds",
+	Doc:       "codec slice accesses must be dominated by a len() guard on the same buffer",
+	Directive: "bounds",
+	Scope: analysis.PathIn(
+		"vns/internal/bgp",
+		"vns/internal/health",
+	),
+	Run: run,
+}
+
+var binaryAccessor = regexp.MustCompile(`^(Put)?Uint(16|32|64)$`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc analyzes one function body (function literals inside it
+// share the enclosing function's guards: a closure over a checked
+// buffer sees the check).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Pass 1: collect, per base expression text, the earliest len(base)
+	// position and whether the base is locally constructed.
+	lenPos := map[string]token.Pos{}
+	constructed := map[string]token.Pos{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "len" {
+					key := types.ExprString(ast.Unparen(n.Args[0]))
+					if p, seen := lenPos[key]; !seen || n.Pos() < p {
+						lenPos[key] = n.Pos()
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if !isConstruction(pass, n.Rhs[i]) {
+					continue
+				}
+				key := types.ExprString(ast.Unparen(lhs))
+				if p, seen := constructed[key]; !seen || n.Pos() < p {
+					constructed[key] = n.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	guarded := func(base ast.Expr, at token.Pos) bool {
+		key := types.ExprString(ast.Unparen(base))
+		if p, ok := lenPos[key]; ok && p < at {
+			return true
+		}
+		if p, ok := constructed[key]; ok && p < at {
+			return true
+		}
+		return false
+	}
+
+	// Pass 2: flag unguarded accesses.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			checkAccess(pass, n.X, n.Pos(), guarded)
+		case *ast.SliceExpr:
+			if n.Low == nil && n.High == nil && n.Max == nil {
+				return true // x[:] cannot panic
+			}
+			checkAccess(pass, n.X, n.Pos(), guarded)
+		case *ast.CallExpr:
+			// binary.BigEndian.Uint32(buf) panics just like buf[3]; when
+			// the argument is a bare buffer (not itself a slice
+			// expression, which pass 2 already checks), apply the same
+			// rule to it.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !binaryAccessor.MatchString(sel.Sel.Name) || len(n.Args) == 0 {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+				return true
+			}
+			arg := ast.Unparen(n.Args[0])
+			switch arg.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+				checkAccess(pass, arg, n.Pos(), guarded)
+			}
+		}
+		return true
+	})
+}
+
+// checkAccess reports an access to base at pos unless the base is
+// exempt or guarded.
+func checkAccess(pass *analysis.Pass, base ast.Expr, pos token.Pos, guarded func(ast.Expr, token.Pos) bool) {
+	base = ast.Unparen(base)
+	// Only named values can be tracked; accesses into the result of
+	// another expression are out of scope.
+	switch base.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return
+	}
+	t := pass.TypesInfo.Types[base].Type
+	if t == nil || !isByteSlice(t) {
+		return
+	}
+	if guarded(base, pos) {
+		return
+	}
+	pass.Reportf(pos,
+		"access to %s is not dominated by a len(%s) guard: a truncated input panics here; check the length first, or annotate with //vnslint:bounds",
+		types.ExprString(base), types.ExprString(base))
+}
+
+// isByteSlice reports whether t is []byte (or a named byte-slice
+// type). Arrays are exempt: their length is part of the type.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// isConstruction reports whether rhs builds a fresh buffer of known
+// size: make, append, a []byte(...) conversion, or a composite
+// literal.
+func isConstruction(pass *analysis.Pass, rhs ast.Expr) bool {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(rhs.Fun).(type) {
+		case *ast.Ident:
+			if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+				return b.Name() == "make" || b.Name() == "append" || b.Name() == "copy"
+			}
+			// []byte-ish conversion via a named type.
+			if _, ok := pass.TypesInfo.Uses[fun].(*types.TypeName); ok {
+				return true
+			}
+		case *ast.ArrayType:
+			return true // []byte("...") conversion
+		}
+	}
+	return false
+}

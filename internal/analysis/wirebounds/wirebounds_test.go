@@ -1,0 +1,26 @@
+package wirebounds_test
+
+import (
+	"testing"
+
+	"vns/internal/analysis/analysistest"
+	"vns/internal/analysis/wirebounds"
+)
+
+func TestWireBounds(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wirebounds.Analyzer, "a")
+}
+
+// TestScope pins the analyzer to the wire-codec packages.
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"vns/internal/bgp":    true,
+		"vns/internal/health": true,
+		"vns/internal/fib":    false,
+		"vns/internal/core":   false,
+	} {
+		if got := wirebounds.Analyzer.Scope(path); got != want {
+			t.Errorf("Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -295,7 +295,7 @@ func unmarshalUpdate(body []byte) (Message, error) {
 		return nil, fmt.Errorf("%w: UPDATE body %d bytes", ErrTruncated, len(body))
 	}
 	wLen := int(binary.BigEndian.Uint16(body[0:2]))
-	if 2+wLen+2 > len(body) {
+	if 2+wLen > len(body) {
 		return nil, fmt.Errorf("%w: withdrawn length %d", ErrBadLength, wLen)
 	}
 	withdrawn, err := unmarshalNLRI(body[2 : 2+wLen])
@@ -303,6 +303,9 @@ func unmarshalUpdate(body []byte) (Message, error) {
 		return nil, err
 	}
 	rest := body[2+wLen:]
+	if len(rest) < 2 {
+		return nil, fmt.Errorf("%w: attribute length field", ErrTruncated)
+	}
 	aLen := int(binary.BigEndian.Uint16(rest[0:2]))
 	if 2+aLen > len(rest) {
 		return nil, fmt.Errorf("%w: attribute length %d", ErrBadLength, aLen)

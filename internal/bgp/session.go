@@ -110,7 +110,10 @@ func Handshake(conn net.Conn, cfg SessionConfig) (*Session, error) {
 	}
 
 	deadline := time.Now().Add(cfg.holdTime())
-	conn.SetReadDeadline(deadline)
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("bgp: arming OPEN timer: %w", err)
+	}
 	msg, err := ReadMessage(conn)
 	if err != nil {
 		conn.Close()
@@ -141,7 +144,10 @@ func Handshake(conn net.Conn, cfg SessionConfig) (*Session, error) {
 		conn.Close()
 		return nil, fmt.Errorf("bgp: sending KEEPALIVE: %w", err)
 	}
-	conn.SetReadDeadline(time.Now().Add(s.holdTime))
+	if err := conn.SetReadDeadline(time.Now().Add(s.holdTime)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("bgp: arming hold timer: %w", err)
+	}
 	msg, err = ReadMessage(conn)
 	if err != nil {
 		conn.Close()
@@ -212,7 +218,9 @@ func (s *Session) write(m Message) error {
 	}
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
-	s.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if err := s.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
 	_, err = s.conn.Write(buf)
 	return err
 }
@@ -240,8 +248,11 @@ func (s *Session) shutdown(err error, sendCease bool) {
 func (s *Session) readLoop() {
 	defer close(s.updates)
 	for {
-		s.conn.SetReadDeadline(time.Now().Add(s.holdTime))
-		msg, err := ReadMessage(s.conn)
+		err := s.conn.SetReadDeadline(time.Now().Add(s.holdTime))
+		var msg Message
+		if err == nil {
+			msg, err = ReadMessage(s.conn)
+		}
 		if err != nil {
 			select {
 			case <-s.closed: // closed locally; not an error

@@ -205,6 +205,7 @@ func (rr *GeoRR) Assign(from netip.Addr, prefix netip.Prefix) Decision {
 	}
 	d := geo.DistanceKm(eg.Pos, rec.Pos)
 	return Decision{
+		//vnslint:lockheld LocalPref is a pure distance→preference curve; it cannot re-enter the GeoRR
 		LocalPref:  rr.cfg.LocalPref(d),
 		DistanceKm: d,
 		Record:     rec,

@@ -87,6 +87,7 @@ func (p *Publisher) ResolveAll(prefixes []netip.Prefix) *FIB {
 	defer p.mu.Unlock()
 	p.entries = make(map[netip.Prefix]NextHop, len(prefixes))
 	for _, pfx := range prefixes {
+		//vnslint:lockheld Resolve is documented to run under the lock and must not call back (see Config.Resolve)
 		if nh, ok := p.cfg.Resolve(pfx); ok {
 			p.entries[pfx] = nh
 		}
@@ -115,6 +116,7 @@ func (p *Publisher) Invalidate(prefixes ...netip.Prefix) {
 		return
 	}
 	if p.timer == nil {
+		//vnslint:wallclock the debounce batches real control-plane bursts in vnsd; sim tests use Debounce=0
 		p.timer = time.AfterFunc(p.cfg.Debounce, func() { p.Flush() })
 	}
 }
