@@ -16,19 +16,24 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"vns/internal/experiments"
 	"vns/internal/media"
+	"vns/internal/scenario"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,table1,fig12,congruence,repair,mediaclaims,qoe,capacity,econ,ablations,failover or all")
+	run := flag.String("run", "all", "comma-separated experiments: fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,table1,fig12,congruence,repair,mediaclaims,qoe,capacity,econ,ablations,failover,scenario or all")
 	seed := flag.Uint64("seed", 0, "random seed (0 = default)")
 	numAS := flag.Int("numas", 0, "synthetic Internet size in ASes (0 = default 3000)")
 	days := flag.Int("days", 0, "measurement days for fig9/fig10/fig11/fig12/table1 (0 = defaults)")
 	requests := flag.Int("requests", 0, "anycast requests for fig7 (0 = 60000)")
 	plot := flag.Bool("plot", false, "append ASCII plots to figures that have them")
+	spec := flag.String("spec", "", "run only this embedded scenario spec (scenario experiment)")
+	seeds := flag.Int("seeds", 0, "scenario seed-sweep width (0 = single run per spec)")
+	events := flag.Int("events", -1, "truncate scenario timelines to the first N events (-1 = all; sweep repros use this)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -49,11 +54,22 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "building environment (seed=%d, ASes=%d)...\n", *seed, *numAS)
-	env := experiments.NewEnv(experiments.Config{Seed: *seed, NumAS: *numAS})
-	fmt.Fprintf(os.Stderr, "environment ready in %v: %d ASes, %d prefixes, %d sessions\n",
-		time.Since(start).Round(time.Millisecond), len(env.Topo.ASNs()), len(env.Topo.Prefixes),
-		len(env.Peering.Sessions()))
+	// The environment is built on first use: the scenario harness (and
+	// the failover study) assemble their own worlds and should not pay
+	// for — or wait on — the shared one.
+	var envOnce sync.Once
+	var sharedEnv *experiments.Env
+	env := func() *experiments.Env {
+		envOnce.Do(func() {
+			t0 := time.Now()
+			fmt.Fprintf(os.Stderr, "building environment (seed=%d, ASes=%d)...\n", *seed, *numAS)
+			sharedEnv = experiments.NewEnv(experiments.Config{Seed: *seed, NumAS: *numAS})
+			fmt.Fprintf(os.Stderr, "environment ready in %v: %d ASes, %d prefixes, %d sessions\n",
+				time.Since(t0).Round(time.Millisecond), len(sharedEnv.Topo.ASNs()), len(sharedEnv.Topo.Prefixes),
+				len(sharedEnv.Peering.Sessions()))
+		})
+		return sharedEnv
+	}
 
 	section := func(name string, f func() string) {
 		if !need(name) {
@@ -66,28 +82,28 @@ func main() {
 	}
 
 	section("fig3", func() string {
-		r := experiments.Fig3GeoPrecision(env)
+		r := experiments.Fig3GeoPrecision(env())
 		out := r.Render()
 		if *plot {
 			out += "\n" + r.RenderPlot()
 		}
 		return out
 	})
-	section("fig4", func() string { return experiments.Fig4EgressSelection(env).Render() })
-	section("fig5", func() string { return experiments.Fig5NeighborSelection(env).Render() })
+	section("fig4", func() string { return experiments.Fig4EgressSelection(env()).Render() })
+	section("fig5", func() string { return experiments.Fig5NeighborSelection(env()).Render() })
 	section("fig6", func() string {
-		r := experiments.Fig6DelayDifference(env)
+		r := experiments.Fig6DelayDifference(env())
 		out := r.Render()
 		if *plot {
 			out += "\n" + r.RenderPlot()
 		}
 		return out
 	})
-	section("fig7", func() string { return experiments.Fig7IncomingTraffic(env, *requests).Render() })
+	section("fig7", func() string { return experiments.Fig7IncomingTraffic(env(), *requests).Render() })
 
 	var fig9 *experiments.Fig9Result
 	if need("fig9", "fig10") {
-		fig9 = experiments.Fig9VideoLoss(env, experiments.Fig9Config{Days: *days, Definition: media.Def1080p})
+		fig9 = experiments.Fig9VideoLoss(env(), experiments.Fig9Config{Days: *days, Definition: media.Def1080p})
 	}
 	section("fig9", func() string { return fig9.Render() })
 	section("fig10", func() string {
@@ -101,20 +117,20 @@ func main() {
 
 	var lastMile *experiments.LastMileResult
 	if need("fig11", "table1", "fig12") {
-		lastMile = experiments.LastMileStudy(env, experiments.LastMileConfig{Days: *days})
+		lastMile = experiments.LastMileStudy(env(), experiments.LastMileConfig{Days: *days})
 	}
 	section("fig11", func() string { return lastMile.RenderFig11() })
 	section("table1", func() string { return lastMile.RenderTable1() })
 	section("fig12", func() string { return lastMile.RenderFig12() })
 
-	section("congruence", func() string { return experiments.CongruenceStudy(env).Render() })
-	section("repair", func() string { return experiments.RepairStudy(env, 30).Render() })
-	section("mediaclaims", func() string { return experiments.MediaClaims(env, 100).Render() })
-	section("qoe", func() string { return experiments.QoEStudy(env, 8).Render() })
-	section("capacity", func() string { return experiments.CapacityStudy(env, 0, 0).Render() })
+	section("congruence", func() string { return experiments.CongruenceStudy(env()).Render() })
+	section("repair", func() string { return experiments.RepairStudy(env(), 30).Render() })
+	section("mediaclaims", func() string { return experiments.MediaClaims(env(), 100).Render() })
+	section("qoe", func() string { return experiments.QoEStudy(env(), 8).Render() })
+	section("capacity", func() string { return experiments.CapacityStudy(env(), 0, 0).Render() })
 	section("econ", func() string {
-		return experiments.EconStudy(env, true, nil).Render() + "\n" +
-			experiments.EconStudy(env, false, nil).Render()
+		return experiments.EconStudy(env(), true, nil).Render() + "\n" +
+			experiments.EconStudy(env(), false, nil).Render()
 	})
 
 	// The failover study mutates link state, so it builds its own
@@ -128,10 +144,67 @@ func main() {
 	})
 
 	section("ablations", func() string {
-		return experiments.AblationBestExternal(env).Render() + "\n" +
-			experiments.AblationLocalPref(env).Render() + "\n" +
-			experiments.AblationGeoDBError(env).Render()
+		return experiments.AblationBestExternal(env()).Render() + "\n" +
+			experiments.AblationLocalPref(env()).Render() + "\n" +
+			experiments.AblationGeoDBError(env()).Render()
+	})
+
+	// The conformance harness: run embedded scenario specs (or one named
+	// by -spec), print each canonical trace, and fail the process on any
+	// invariant violation. -seeds N sweeps each spec across N seeds and
+	// reports failures shrunk to their minimal event prefix; -seed/-numas
+	// /-events override the spec for sweep repros.
+	scenarioFailed := false
+	section("scenario", func() string {
+		names := scenario.Names()
+		if *spec != "" {
+			names = []string{*spec}
+		}
+		var b strings.Builder
+		for _, name := range names {
+			sp, err := scenario.Load(name)
+			if err != nil {
+				scenarioFailed = true
+				fmt.Fprintf(&b, "FAIL %s: %v\n", name, err)
+				continue
+			}
+			sp = sp.Truncate(*events)
+			if *seed != 0 {
+				sp.Seed = *seed
+			}
+			if *numAS != 0 {
+				sp.NumAS = *numAS
+			}
+			if *seeds > 0 {
+				sweep := make([]uint64, *seeds)
+				for i := range sweep {
+					sweep[i] = uint64(7 + i)
+				}
+				if fails := scenario.Sweep(sp, sweep); len(fails) > 0 {
+					scenarioFailed = true
+					for _, f := range fails {
+						fmt.Fprintf(&b, "FAIL %s seed=%d events=%d/%d: %v\nrepro: %s\n",
+							name, f.Seed, f.MinEvents, len(sp.Events), f.Err, f.Repro)
+					}
+				} else {
+					fmt.Fprintf(&b, "PASS %s sweep seeds=%d\n", name, *seeds)
+				}
+				continue
+			}
+			res, err := scenario.Run(sp)
+			b.WriteString(res.Trace)
+			if err != nil {
+				scenarioFailed = true
+				fmt.Fprintf(&b, "FAIL %s: %v\n", name, err)
+			} else {
+				fmt.Fprintf(&b, "PASS %s\n", name)
+			}
+		}
+		return b.String()
 	})
 
 	fmt.Fprintf(os.Stderr, "all requested experiments done in %v\n", time.Since(start).Round(time.Millisecond))
+	if scenarioFailed {
+		os.Exit(1)
+	}
 }

@@ -124,8 +124,7 @@ func main() {
 			for _, eng := range fwd.Engines() {
 				s := eng.Stats().FIB
 				pop := env.Net.PoPByID(eng.PoP())
-				log.Printf("fib %s: prefixes=%d gen=%d compiles=%d skipped=%d last-compile=%v pending=%d",
-					pop.Code, s.Prefixes, s.Generation, s.Compiles, s.SkippedCompiles, s.LastCompile, s.Pending)
+				log.Printf("%s last-compile=%v", fibStatusLine(pop.Code, s), s.LastCompile)
 			}
 		case <-stop:
 			log.Print("shutting down")

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"fmt"
+
+	"vns/internal/fib"
+)
+
+// fibStatusLine renders one PoP's FIB counters for the periodic status
+// log. Only deterministic fields appear here — the caller appends
+// wall-clock extras like the last-compile age — so tests can golden-diff
+// the output of a virtual-clock run.
+func fibStatusLine(code string, s fib.Stats) string {
+	return fmt.Sprintf("fib %s: prefixes=%d gen=%d compiles=%d skipped=%d pending=%d",
+		code, s.Prefixes, s.Generation, s.Compiles, s.SkippedCompiles, s.Pending)
+}

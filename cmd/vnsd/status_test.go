@@ -1,0 +1,67 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vns/internal/experiments"
+	"vns/internal/vns"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// TestFIBStatusGolden drives a real (small) deployment through a drain
+// and restore and golden-diffs the daemon's per-PoP FIB status lines.
+// The lines contain only virtual-clock state, so the transcript is
+// byte-stable; regenerate with
+//
+//	go test ./cmd/vnsd -run Golden -update
+func TestFIBStatusGolden(t *testing.T) {
+	env := experiments.NewEnv(experiments.Config{NumAS: 60})
+	fwd := env.Forwarding(vns.ForwardingConfig{}) // synchronous recompiles
+
+	var b strings.Builder
+	snapshot := func(label string) {
+		fmt.Fprintf(&b, "== %s\n", label)
+		for _, eng := range fwd.Engines() {
+			s := eng.Stats().FIB
+			fmt.Fprintf(&b, "%s\n", fibStatusLine(env.Net.PoPByID(eng.PoP()).Code, s))
+		}
+	}
+
+	snapshot("initial")
+
+	drained := netip.MustParseAddr("10.0.7.1") // SIN router 1
+	env.RR.SetEgressDown(drained, true)
+	fwd.InvalidateAll()
+	fwd.Flush()
+	snapshot("egress-down SIN:1")
+
+	env.RR.SetEgressDown(drained, false)
+	fwd.InvalidateAll()
+	fwd.Flush()
+	snapshot("egress-up SIN:1")
+
+	golden := filepath.Join("testdata", "fib_status.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("no golden file (run with -update to create): %v", err)
+	}
+	if string(want) != b.String() {
+		t.Errorf("FIB status transcript diverged\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}

@@ -47,6 +47,7 @@ var Analyzer = &analysis.Analyzer{
 		"vns/internal/fib",
 		"vns/internal/health",
 		"vns/internal/experiments",
+		"vns/internal/scenario",
 	),
 	Run: run,
 }

@@ -20,6 +20,7 @@ func TestScope(t *testing.T) {
 		"vns/internal/fib":         true,
 		"vns/internal/health":      true,
 		"vns/internal/experiments": true,
+		"vns/internal/scenario":    true,
 		"vns/internal/bgp":         false,
 		"vns/internal/core":        false,
 		"vns/cmd/vnsd":             false,

@@ -1,0 +1,219 @@
+package bgp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file covers the FSM paths a well-behaved peer never exercises:
+// message-type collisions in OpenSent and OpenConfirm, hold-timer
+// expiry while the handshake is still in flight, and an OPEN arriving
+// after Established. Each test scripts the remote end by hand over a
+// real TCP pair and asserts the exact NOTIFICATION code that appears on
+// the wire (RFC 4271 §6), not just the local error.
+
+// handshakeOutcome is what scriptedHandshake's goroutine produced.
+type handshakeOutcome struct {
+	s   *Session
+	err error
+}
+
+// scriptedHandshake runs Handshake on one end of a TCP pair and returns
+// the raw peer conn for the test to script, plus a channel carrying the
+// handshake outcome. A successful session is closed at test cleanup, not
+// before, so the scripted peer can keep talking to it.
+func scriptedHandshake(t *testing.T, cfg SessionConfig) (peer rawPeer, result chan handshakeOutcome) {
+	t.Helper()
+	local, remote := pairTCP(t)
+	result = make(chan handshakeOutcome, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s, err := Handshake(local, cfg)
+		result <- handshakeOutcome{s, err}
+	}()
+	t.Cleanup(func() {
+		<-done
+		select {
+		case out := <-result:
+			if out.s != nil {
+				out.s.Close()
+			}
+		default: // the test consumed the outcome and owns the session
+		}
+	})
+	return rawPeer{t: t, conn: remote}, result
+}
+
+// err waits for the handshake outcome, closing any session it produced,
+// and returns just the error — for tests that expect failure.
+func (p rawPeer) err(result chan handshakeOutcome) error {
+	out := <-result
+	if out.s != nil {
+		p.t.Cleanup(func() { out.s.Close() })
+	}
+	return out.err
+}
+
+// rawPeer speaks the wire protocol by hand.
+type rawPeer struct {
+	t    *testing.T
+	conn interface {
+		Read([]byte) (int, error)
+		Write([]byte) (int, error)
+		SetReadDeadline(time.Time) error
+	}
+}
+
+func (p rawPeer) send(m Message) {
+	p.t.Helper()
+	buf, err := Marshal(m)
+	if err != nil {
+		p.t.Fatalf("marshal %v: %v", m.Type(), err)
+	}
+	if _, err := p.conn.Write(buf); err != nil {
+		p.t.Fatalf("write %v: %v", m.Type(), err)
+	}
+}
+
+func (p rawPeer) read() Message {
+	p.t.Helper()
+	if err := p.conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		p.t.Fatal(err)
+	}
+	m, err := ReadMessage(p.conn)
+	if err != nil {
+		p.t.Fatalf("reading from session under test: %v", err)
+	}
+	return m
+}
+
+// expectNotification reads messages until a NOTIFICATION arrives
+// (skipping the OPEN/KEEPALIVE the session sends first) and asserts its
+// code and subcode.
+func (p rawPeer) expectNotification(code, subcode uint8) {
+	p.t.Helper()
+	for i := 0; i < 4; i++ {
+		m := p.read()
+		n, ok := m.(Notification)
+		if !ok {
+			continue // handshake traffic (OPEN, KEEPALIVE) precedes it
+		}
+		if n.Code != code || n.Subcode != subcode {
+			p.t.Fatalf("NOTIFICATION code %d subcode %d on the wire, want %d/%d",
+				n.Code, n.Subcode, code, subcode)
+		}
+		return
+	}
+	p.t.Fatalf("no NOTIFICATION within 4 messages")
+}
+
+var fsmCfg = SessionConfig{LocalAS: 65000, LocalID: addr("10.0.0.100")}
+
+// peerOpen is a well-formed OPEN the scripted peer sends when the test
+// wants the handshake to progress past OpenSent.
+var peerOpen = Open{Version: version4, AS: 65001, HoldTime: 90, ID: addr("10.0.0.200")}
+
+func TestOpenSentKeepaliveCollision(t *testing.T) {
+	// A KEEPALIVE arriving while we wait for OPEN is an FSM error: the
+	// peer has desynchronized its state machine from ours.
+	peer, result := scriptedHandshake(t, fsmCfg)
+	peer.send(Keepalive{})
+	if err := peer.err(result); err == nil || !strings.Contains(err.Error(), "expected OPEN") {
+		t.Fatalf("handshake error = %v, want expected-OPEN failure", err)
+	}
+	peer.expectNotification(NotifFSMError, 0)
+}
+
+func TestOpenSentUpdateCollision(t *testing.T) {
+	peer, result := scriptedHandshake(t, fsmCfg)
+	peer.send(Update{})
+	if err := peer.err(result); err == nil {
+		t.Fatal("handshake succeeded on UPDATE before OPEN")
+	}
+	peer.expectNotification(NotifFSMError, 0)
+}
+
+func TestOpenConfirmOpenCollision(t *testing.T) {
+	// A second OPEN in OpenConfirm (the classic connection-collision
+	// symptom) must be answered with an FSM-error NOTIFICATION, not
+	// treated as a keepalive.
+	peer, result := scriptedHandshake(t, fsmCfg)
+	peer.send(peerOpen)
+	peer.send(peerOpen)
+	if err := peer.err(result); err == nil || !strings.Contains(err.Error(), "expected KEEPALIVE") {
+		t.Fatalf("handshake error = %v, want expected-KEEPALIVE failure", err)
+	}
+	peer.expectNotification(NotifFSMError, 0)
+}
+
+func TestOpenSentHoldTimerExpiry(t *testing.T) {
+	// The peer connects and then goes silent before sending OPEN. The
+	// session must give up after its configured hold time and say why
+	// with a hold-timer-expired NOTIFICATION on the wire.
+	cfg := fsmCfg
+	cfg.HoldTime = 1 * time.Second
+	peer, result := scriptedHandshake(t, cfg)
+	start := time.Now()
+	err := peer.err(result)
+	if err == nil || !strings.Contains(err.Error(), "hold timer expired") {
+		t.Fatalf("handshake error = %v, want hold-timer expiry", err)
+	}
+	if waited := time.Since(start); waited < cfg.HoldTime {
+		t.Fatalf("gave up after %v, before the %v hold time", waited, cfg.HoldTime)
+	}
+	peer.expectNotification(NotifHoldTimerExpired, 0)
+}
+
+func TestOpenConfirmHoldTimerExpiry(t *testing.T) {
+	// OPEN exchanged, then silence instead of the peer's KEEPALIVE: the
+	// negotiated hold timer (min of both OPENs) expires in OpenConfirm.
+	cfg := fsmCfg
+	cfg.HoldTime = 1 * time.Second
+	peer, result := scriptedHandshake(t, cfg)
+	peer.send(peerOpen)
+	err := peer.err(result)
+	if err == nil || !strings.Contains(err.Error(), "hold timer expired") {
+		t.Fatalf("handshake error = %v, want hold-timer expiry", err)
+	}
+	peer.expectNotification(NotifHoldTimerExpired, 0)
+}
+
+func TestEstablishedOpenCollision(t *testing.T) {
+	// A full scripted handshake, then an OPEN out of nowhere: the
+	// session must send an FSM-error NOTIFICATION and shut down.
+	peer, result := scriptedHandshake(t, fsmCfg)
+	peer.send(peerOpen)
+	peer.send(Keepalive{})
+	if err := peer.err(result); err != nil {
+		t.Fatalf("handshake failed: %v", err)
+	}
+	peer.send(peerOpen)
+	peer.expectNotification(NotifFSMError, 0)
+}
+
+func TestHandshakeUnacceptableHoldTime(t *testing.T) {
+	// RFC 4271 §6.2: a nonzero hold time below 3 seconds is rejected
+	// with OPEN Message Error subcode 6.
+	peer, result := scriptedHandshake(t, fsmCfg)
+	bad := peerOpen
+	bad.HoldTime = 2
+	peer.send(bad)
+	if err := peer.err(result); err == nil || !strings.Contains(err.Error(), "unacceptable") {
+		t.Fatalf("handshake error = %v, want unacceptable hold time", err)
+	}
+	peer.expectNotification(NotifOpenMessageError, 6)
+}
+
+func TestHandshakeVersionNotification(t *testing.T) {
+	// Wrong protocol version: OPEN Message Error subcode 1 on the wire.
+	peer, result := scriptedHandshake(t, fsmCfg)
+	bad := peerOpen
+	bad.Version = 3
+	peer.send(bad)
+	if err := peer.err(result); err == nil {
+		t.Fatal("handshake accepted version 3")
+	}
+	peer.expectNotification(NotifOpenMessageError, 1)
+}

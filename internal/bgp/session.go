@@ -116,6 +116,13 @@ func Handshake(conn net.Conn, cfg SessionConfig) (*Session, error) {
 	}
 	msg, err := ReadMessage(conn)
 	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			// RFC 4271 §8.2.2: the hold timer runs during OpenSent too;
+			// expiring there sends the same NOTIFICATION as in
+			// Established, so the silent peer learns why we hung up.
+			s.notifyAndClose(NotifHoldTimerExpired, 0)
+			return nil, fmt.Errorf("bgp: hold timer expired waiting for OPEN")
+		}
 		conn.Close()
 		return nil, fmt.Errorf("bgp: waiting for OPEN: %w", err)
 	}
@@ -150,6 +157,11 @@ func Handshake(conn net.Conn, cfg SessionConfig) (*Session, error) {
 	}
 	msg, err = ReadMessage(conn)
 	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			// Hold timer expiry in OpenConfirm (RFC 4271 §8.2.2).
+			s.notifyAndClose(NotifHoldTimerExpired, 0)
+			return nil, fmt.Errorf("bgp: hold timer expired waiting for KEEPALIVE")
+		}
 		conn.Close()
 		return nil, fmt.Errorf("bgp: waiting for KEEPALIVE: %w", err)
 	}

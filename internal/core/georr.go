@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"sync"
 
 	"vns/internal/bgp"
@@ -142,7 +143,8 @@ func (rr *GeoRR) AddEgress(e Egress) {
 	rr.egresses[e.ID] = e
 }
 
-// Egresses returns the registered egress routers.
+// Egresses returns the registered egress routers in router-id order, so
+// listings (the management interface's `egresses` command) are stable.
 func (rr *GeoRR) Egresses() []Egress {
 	rr.mu.RLock()
 	defer rr.mu.RUnlock()
@@ -150,6 +152,7 @@ func (rr *GeoRR) Egresses() []Egress {
 	for _, e := range rr.egresses {
 		out = append(out, e)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
 	return out
 }
 

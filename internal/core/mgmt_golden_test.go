@@ -1,0 +1,63 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate golden files")
+
+// TestMgmtGoldenTranscript pins the management interface's exact output
+// for a scripted operator session — listings, drains, errors — so wire
+// consumers (vnsctl, runbooks that scrape it) notice any change.
+// Regenerate with
+//
+//	go test ./internal/core -run Golden -update
+func TestMgmtGoldenTranscript(t *testing.T) {
+	m, _ := mgmtSetup(t)
+	script := []string{
+		"egresses",
+		"stats",
+		"egress-down 10.0.2.1",
+		"egresses",
+		"stats",
+		"egress-down 10.0.3.1",
+		"egresses",
+		"egress-up 10.0.2.1",
+		"egress-up 10.0.3.1",
+		"egresses",
+		"force 10.1.0.0/16 10.0.3.1",
+		"show 10.9.0.0/16",
+		"force 10.1.0.0/16 10.99.9.9",
+		"egress-down nonsense",
+		"exempt 10.2.0.0/16",
+		"stats",
+		"unforce 10.1.0.0/16",
+		"unexempt 10.2.0.0/16",
+	}
+	var b strings.Builder
+	for _, cmd := range script {
+		fmt.Fprintf(&b, "> %s\n%s\n", cmd, m.Execute(cmd))
+	}
+	golden := filepath.Join("testdata", "mgmt_transcript.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("no golden transcript (run with -update to create): %v", err)
+	}
+	if string(want) != b.String() {
+		t.Errorf("management transcript diverged\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"sync/atomic"
+
 	"vns/internal/loss"
 )
 
@@ -48,13 +50,17 @@ type Link struct {
 	// (cross-ocean reroutes, brownouts); 0 means none.
 	extraDelayMs float64
 
-	// Statistics, updated per packet.
-	txPackets  uint64
-	txBytes    uint64
-	drops      uint64
-	dropsLoss  uint64
-	dropsQueue uint64
-	dropsAdmin uint64
+	// Statistics, updated per packet. The counters are atomic so a
+	// monitoring goroutine (cmd/vnsd status ticks, test helpers asserting
+	// on live traffic) can snapshot them while the simulation goroutine
+	// is mid-transit; everything else on the Link remains single-threaded
+	// sim state.
+	txPackets  atomic.Uint64
+	txBytes    atomic.Uint64
+	drops      atomic.Uint64
+	dropsLoss  atomic.Uint64
+	dropsQueue atomic.Uint64
+	dropsAdmin atomic.Uint64
 }
 
 // LinkStats is a snapshot of a link's lifetime counters, with drops
@@ -91,13 +97,13 @@ func NewLink(name string, propDelayMs, bandwidthMbps float64, lm loss.Model, rng
 // the total one-way delay in milliseconds, or dropped=true.
 func (l *Link) transit(now Time, size int) (delayMs float64, dropped bool) {
 	if l.adminDown {
-		l.drops++
-		l.dropsAdmin++
+		l.dropsAdmin.Add(1)
+		l.drops.Add(1)
 		return 0, true
 	}
 	if l.Loss != nil && l.Loss.Drop(now) {
-		l.drops++
-		l.dropsLoss++
+		l.dropsLoss.Add(1)
+		l.drops.Add(1)
 		return 0, true
 	}
 	delayMs = l.PropDelayMs + l.extraDelayMs
@@ -107,8 +113,8 @@ func (l *Link) transit(now Time, size int) (delayMs float64, dropped bool) {
 		if l.busyUntil > start {
 			queued := l.busyUntil - start
 			if l.QueueLimit > 0 && queued > Time(float64(l.QueueLimit)*serMs/1000) {
-				l.drops++
-				l.dropsQueue++
+				l.dropsQueue.Add(1)
+				l.drops.Add(1)
 				return 0, true // tail drop
 			}
 			start = l.busyUntil
@@ -124,21 +130,30 @@ func (l *Link) transit(now Time, size int) (delayMs float64, dropped bool) {
 		}
 		delayMs += j
 	}
-	l.txPackets++
-	l.txBytes += uint64(size)
+	l.txPackets.Add(1)
+	l.txBytes.Add(uint64(size))
 	return delayMs, false
 }
 
 // Stats returns the link's lifetime counters with drops attributed to
-// their cause (loss model, queue tail drop, or admin-down).
+// their cause (loss model, queue tail drop, or admin-down). It is safe
+// to call from any goroutine while the simulation is running: each
+// counter is loaded atomically, and the per-cause counter is always
+// incremented before the Drops total, so a concurrent snapshot never
+// shows Drops exceeding the sum of its causes. Exact equality
+// (Drops == DropsLoss+DropsQueue+DropsAdmin) holds on any snapshot
+// taken while the simulator is quiescent.
 func (l *Link) Stats() LinkStats {
+	// Load the total first: if a drop lands mid-snapshot, the causes
+	// (written before the total) can only be >= the total we read.
+	drops := l.drops.Load()
 	return LinkStats{
-		TxPackets:  l.txPackets,
-		TxBytes:    l.txBytes,
-		Drops:      l.drops,
-		DropsLoss:  l.dropsLoss,
-		DropsQueue: l.dropsQueue,
-		DropsAdmin: l.dropsAdmin,
+		TxPackets:  l.txPackets.Load(),
+		TxBytes:    l.txBytes.Load(),
+		Drops:      drops,
+		DropsLoss:  l.dropsLoss.Load(),
+		DropsQueue: l.dropsQueue.Load(),
+		DropsAdmin: l.dropsAdmin.Load(),
 	}
 }
 
@@ -162,7 +177,7 @@ func (l *Link) UtilizationMbps(windowSec float64) float64 {
 	if windowSec <= 0 {
 		return 0
 	}
-	return float64(l.txBytes) * 8 / windowSec / 1e6
+	return float64(l.txBytes.Load()) * 8 / windowSec / 1e6
 }
 
 // Path is an ordered sequence of links from sender to receiver.

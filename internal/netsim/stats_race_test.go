@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+
+	"vns/internal/loss"
+)
+
+// TestStatsSnapshotRace hammers Link.Stats from several goroutines while
+// the simulation goroutine is driving packets through the link (transit
+// increments the counters). Under -race this fails if any counter is
+// read without synchronization; it also asserts the documented snapshot
+// guarantees: Drops never exceeds the sum of its causes, counters are
+// monotone, and after quiescence the drop partition is exact.
+func TestStatsSnapshotRace(t *testing.T) {
+	sim := &Sim{}
+	rng := loss.NewRNG(7)
+	l := NewLink("hammer", 1, 10, loss.NewUniform(0.2, rng.Fork(1)), rng.Fork(2))
+	l.QueueLimit = 4
+
+	const packets = 20000
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prev LinkStats
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := l.Stats()
+				if st.Drops > st.DropsLoss+st.DropsQueue+st.DropsAdmin {
+					t.Errorf("snapshot shows Drops=%d > causes %d+%d+%d",
+						st.Drops, st.DropsLoss, st.DropsQueue, st.DropsAdmin)
+					return
+				}
+				if st.TxPackets < prev.TxPackets || st.Drops < prev.Drops {
+					t.Errorf("counters went backwards: %+v then %+v", prev, st)
+					return
+				}
+				prev = st
+			}
+		}()
+	}
+
+	delivered := 0
+	for i := 0; i < packets; i++ {
+		sim.Schedule(float64(i)*0.0001, func() {
+			if _, dropped := l.transit(sim.Now(), 1200); !dropped {
+				delivered++
+			}
+		})
+	}
+	// Toggle fault state mid-run so DropsAdmin is exercised too.
+	sim.Schedule(0.5, func() { l.SetAdminDown(true) })
+	sim.Schedule(0.7, func() { l.SetAdminDown(false) })
+	sim.RunAll()
+	close(done)
+	wg.Wait()
+
+	st := l.Stats()
+	if st.TxPackets != uint64(delivered) {
+		t.Errorf("TxPackets = %d, want %d", st.TxPackets, delivered)
+	}
+	if st.TxPackets+st.Drops != packets {
+		t.Errorf("TxPackets+Drops = %d, want %d", st.TxPackets+st.Drops, packets)
+	}
+	if st.Drops != st.DropsLoss+st.DropsQueue+st.DropsAdmin {
+		t.Errorf("quiescent partition broken: %+v", st)
+	}
+	if st.DropsAdmin == 0 || st.DropsLoss == 0 {
+		t.Errorf("expected admin and loss drops to be exercised: %+v", st)
+	}
+}

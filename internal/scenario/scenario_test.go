@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var (
+	update = flag.Bool("update", false, "regenerate golden traces")
+	seeds  = flag.Int("seeds", 3, "seeds per spec in the sweep test")
+)
+
+// TestScenarioGolden runs every embedded spec and diffs its canonical
+// trace byte-for-byte against the checked-in golden. Regenerate with
+//
+//	go test ./internal/scenario -run Golden -update
+func TestScenarioGolden(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Name != name {
+				t.Fatalf("spec file %s.json names itself %q", name, spec.Name)
+			}
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatalf("invariant violation:\n%s\n%v", res.Trace, err)
+			}
+			golden := filepath.Join("testdata", "golden", name+".trace")
+			if *update {
+				if err := os.WriteFile(golden, []byte(res.Trace), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("no golden trace (run with -update to create): %v", err)
+			}
+			if string(want) != res.Trace {
+				t.Errorf("trace diverged from golden %s\n--- got ---\n%s--- want ---\n%s", golden, res.Trace, want)
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism runs the busiest spec twice in one process and
+// requires byte-identical traces: the whole stack — topology generation,
+// liveness timing, FIB recompiles, media flows — must be a pure function
+// of the spec.
+func TestScenarioDeterminism(t *testing.T) {
+	spec, err := Load("churn-failover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Trace != b.Trace {
+		t.Errorf("two runs of the same spec diverged\n--- first ---\n%s--- second ---\n%s", a.Trace, b.Trace)
+	}
+}
+
+// TestScenarioSeedSweep re-runs the two event-heaviest specs under
+// -seeds fresh seeds each. A failure arrives pre-shrunk to its minimal
+// event prefix with a copy-pasteable repro command.
+func TestScenarioSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is not for -short")
+	}
+	for _, name := range []string{"churn", "churn-failover"} {
+		spec, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := make([]uint64, *seeds)
+		for i := range sw {
+			sw[i] = uint64(7 + i) // small fixed seeds, distinct from the default
+		}
+		for _, f := range Sweep(spec, sw) {
+			t.Errorf("spec %s seed %d fails with %d/%d events: %v\nrepro: %s",
+				name, f.Seed, f.MinEvents, len(spec.Events), f.Err, f.Repro)
+		}
+	}
+}
+
+// TestSpecValidation exercises the cheap static checks sweeps rely on.
+func TestSpecValidation(t *testing.T) {
+	bad := []string{
+		`{"events":[]}`, // no name
+		`{"name":"x","events":[{"at":0.1,"op":"link-down","link":"A-B"}]}`,               // inside warmup
+		`{"name":"x","events":[{"at":1,"op":"link-down","link":"LONASH"}]}`,              // malformed link
+		`{"name":"x","events":[{"at":1,"op":"flap-link","link":"A-B","cycles":3}]}`,      // no period
+		`{"name":"x","events":[{"at":1,"op":"announce-burst","pop":"SIN"}]}`,             // no count
+		`{"name":"x","events":[{"at":1,"op":"media-flow","pop":"LON","prefix":"#0"}]}`,   // no duration
+		`{"name":"x","events":[{"at":1,"op":"warp-core-breach"}]}`,                       // unknown op
+		`{"name":"x","events":[{"at":1,"op":"link-down","link":"A-B","bogus":true}]}`,    // unknown field
+		`{"name":"x","events":[{"at":1,"op":"link-down","link":"A-B"},{"at":2,"op":"link-up","link":"A-B"}]}`, // inside settle
+	}
+	for i, in := range bad {
+		if _, err := ParseSpec([]byte(in)); err == nil {
+			t.Errorf("case %d: bad spec accepted: %s", i, in)
+		}
+	}
+	ok := `{"name":"x","events":[
+		{"at":1,"op":"link-down","link":"LON-ASH"},
+		{"at":3.5,"op":"media-flow","pop":"LON","prefix":"#0","durSec":2},
+		{"at":3.5,"op":"link-up","link":"LON-ASH"}]}`
+	if _, err := ParseSpec([]byte(ok)); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package scenario is the deterministic end-to-end conformance harness:
+// it assembles a full VNS instance (topology, GeoIP, peering, L2 fabric,
+// liveness monitoring, per-PoP FIB engines) from a compact declarative
+// spec, drives a scripted event timeline on the virtual clock, quiesces
+// after every event, and runs an invariant suite across control and data
+// plane. Each run emits a canonical trace — simulated timestamps only,
+// stable ordering — that golden tests diff byte-for-byte.
+package scenario
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+//go:embed specs/*.json
+var specFS embed.FS
+
+// Spec is one declarative scenario: the world to assemble plus the event
+// timeline to drive through it. Specs are checked in as JSON under
+// specs/ and embedded in the package.
+type Spec struct {
+	// Name identifies the scenario; the golden trace lives at
+	// testdata/golden/<Name>.trace.
+	Name string `json:"name"`
+	// Seed drives every stochastic component (0 uses the environment's
+	// default). Seed sweeps override it.
+	Seed uint64 `json:"seed"`
+	// NumAS sizes the synthetic Internet; 0 means 250, which keeps a
+	// full invariant sweep per checkpoint under a second.
+	NumAS int `json:"numAS"`
+	// Vantages are the PoP codes whose FIBs the per-checkpoint
+	// invariants examine (every-PoP sweeps are reserved for the final
+	// checkpoint). Empty means LON, SJS, SIN — one per continent.
+	Vantages []string `json:"vantages"`
+	// Events is the scripted timeline, sorted by At.
+	Events []Event `json:"events"`
+	// EndSec extends the run past the last checkpoint (flows need the
+	// room to finish); 0 derives it from the timeline.
+	EndSec float64 `json:"endSec"`
+}
+
+// Event is one scripted action on the timeline. Which fields matter
+// depends on Op; Validate rejects malformed combinations.
+type Event struct {
+	// At is the simulated time the event fires.
+	At float64 `json:"at"`
+	// Op selects the action; see the Op* constants.
+	Op string `json:"op"`
+	// Link names an L2 adjacency "SIN-SYD" (link-down, link-up,
+	// flap-link, delay-spike).
+	Link string `json:"link,omitempty"`
+	// PoP names a PoP by code (pop-fail, pop-recover, announce-burst's
+	// egress site, media-flow's ingress).
+	PoP string `json:"pop,omitempty"`
+	// Router selects an egress router "SYD:1" (egress-down, egress-up,
+	// force-exit).
+	Router string `json:"router,omitempty"`
+	// Prefix selects a destination: "#N" is the N-th originated prefix,
+	// "egress=CODE" the first prefix whose steady-state egress is that
+	// PoP (pinned there via force-exit when none is, mirroring the
+	// failover study).
+	Prefix string `json:"prefix,omitempty"`
+	// Count sizes announce-burst / withdraw-burst.
+	Count int `json:"count,omitempty"`
+	// ExtraMs is the delay-spike magnitude.
+	ExtraMs float64 `json:"extraMs,omitempty"`
+	// DurSec is the delay-spike or media-flow duration.
+	DurSec float64 `json:"durSec,omitempty"`
+	// PeriodSec and Cycles shape flap-link (down at At + i*period, up
+	// half a period later).
+	PeriodSec float64 `json:"periodSec,omitempty"`
+	Cycles    int     `json:"cycles,omitempty"`
+	// SettleSec overrides the quiesce window before this event's
+	// checkpoint; 0 means the default (past detection plus up-hold).
+	SettleSec float64 `json:"settleSec,omitempty"`
+}
+
+// Event ops.
+const (
+	OpLinkDown      = "link-down"
+	OpLinkUp        = "link-up"
+	OpFlapLink      = "flap-link"
+	OpPoPFail       = "pop-fail"
+	OpPoPRecover    = "pop-recover"
+	OpDelaySpike    = "delay-spike"
+	OpEgressDown    = "egress-down"
+	OpEgressUp      = "egress-up"
+	OpForceExit     = "force-exit"
+	OpUnforce       = "unforce"
+	OpExempt        = "exempt"
+	OpUnexempt      = "unexempt"
+	OpAnnounceBurst = "announce-burst"
+	OpWithdrawBurst = "withdraw-burst"
+	OpMediaFlow     = "media-flow"
+)
+
+// defaultSettleSec is the quiesce window between an event and its
+// checkpoint: comfortably past liveness detection (150 ms) plus the
+// up-hold hysteresis (1 s) so both halves of any transition have landed.
+const defaultSettleSec = 2.5
+
+// settle returns the event's quiesce window.
+func (ev *Event) settle() float64 {
+	if ev.SettleSec > 0 {
+		return ev.SettleSec
+	}
+	return defaultSettleSec
+}
+
+// checkpointAt returns the simulated time of the event's checkpoint: the
+// settle window after the event's *last* action (flaps stretch over
+// cycles, delay spikes over their duration).
+func (ev *Event) checkpointAt() float64 {
+	end := ev.At
+	switch ev.Op {
+	case OpFlapLink:
+		end += float64(ev.Cycles) * ev.PeriodSec
+	case OpDelaySpike:
+		end += ev.DurSec
+	}
+	return end + ev.settle()
+}
+
+// Validate checks the spec's internal consistency — without assembling
+// an environment, so sweeps can reject bad input cheaply.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec has no name")
+	}
+	if s.NumAS < 0 {
+		return fmt.Errorf("scenario %s: negative numAS", s.Name)
+	}
+	// The first event may not fire before the warmup checkpoint.
+	prev := warmupCheckpointSec
+	for i := range s.Events {
+		ev := &s.Events[i]
+		if ev.At < prev {
+			return fmt.Errorf("scenario %s: event %d (%s) at %g fires inside the previous checkpoint's settle window (ends %g)",
+				s.Name, i, ev.Op, ev.At, prev)
+		}
+		if err := ev.validate(); err != nil {
+			return fmt.Errorf("scenario %s: event %d: %w", s.Name, i, err)
+		}
+		// Media flows run concurrently with later events by design;
+		// everything else must quiesce before the next event fires.
+		if ev.Op != OpMediaFlow {
+			prev = ev.checkpointAt()
+		}
+	}
+	return nil
+}
+
+func (ev *Event) validate() error {
+	needLink := func() error {
+		if len(strings.Split(ev.Link, "-")) != 2 {
+			return fmt.Errorf("%s needs link \"A-B\", got %q", ev.Op, ev.Link)
+		}
+		return nil
+	}
+	switch ev.Op {
+	case OpLinkDown, OpLinkUp:
+		return needLink()
+	case OpFlapLink:
+		if ev.PeriodSec <= 0 || ev.Cycles <= 0 {
+			return fmt.Errorf("flap-link needs periodSec > 0 and cycles > 0")
+		}
+		return needLink()
+	case OpDelaySpike:
+		if ev.ExtraMs <= 0 || ev.DurSec <= 0 {
+			return fmt.Errorf("delay-spike needs extraMs > 0 and durSec > 0")
+		}
+		return needLink()
+	case OpPoPFail, OpPoPRecover:
+		if ev.PoP == "" {
+			return fmt.Errorf("%s needs pop", ev.Op)
+		}
+	case OpEgressDown, OpEgressUp:
+		if ev.Router == "" {
+			return fmt.Errorf("%s needs router \"CODE:N\"", ev.Op)
+		}
+	case OpForceExit:
+		if ev.Router == "" || ev.Prefix == "" {
+			return fmt.Errorf("force-exit needs router and prefix")
+		}
+	case OpUnforce, OpExempt, OpUnexempt:
+		if ev.Prefix == "" {
+			return fmt.Errorf("%s needs prefix", ev.Op)
+		}
+	case OpAnnounceBurst:
+		if ev.Count <= 0 || ev.PoP == "" {
+			return fmt.Errorf("announce-burst needs count > 0 and pop")
+		}
+	case OpWithdrawBurst:
+		if ev.Count <= 0 {
+			return fmt.Errorf("withdraw-burst needs count > 0")
+		}
+	case OpMediaFlow:
+		if ev.PoP == "" || ev.Prefix == "" || ev.DurSec <= 0 {
+			return fmt.Errorf("media-flow needs pop (ingress), prefix and durSec > 0")
+		}
+	default:
+		return fmt.Errorf("unknown op %q", ev.Op)
+	}
+	return nil
+}
+
+// end returns the simulated time the run must reach: past every
+// checkpoint, every flow's finish, and a drain window for in-flight
+// packets so conservation can be checked exactly.
+func (s *Spec) end() float64 {
+	end := 0.0
+	for i := range s.Events {
+		ev := &s.Events[i]
+		if cp := ev.checkpointAt(); cp > end {
+			end = cp
+		}
+		if ev.Op == OpMediaFlow {
+			if fin := ev.At + ev.DurSec + 2.0; fin > end {
+				end = fin
+			}
+		}
+	}
+	if s.EndSec > end {
+		end = s.EndSec
+	}
+	return end
+}
+
+// ParseSpec decodes and validates a JSON spec.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load returns the embedded spec with the given name.
+func Load(name string) (*Spec, error) {
+	data, err := specFS.ReadFile("specs/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: no embedded spec %q", name)
+	}
+	return ParseSpec(data)
+}
+
+// Names lists every embedded spec in sorted order.
+func Names() []string {
+	entries, err := fs.ReadDir(specFS, "specs")
+	if err != nil {
+		panic(err)
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(out)
+	return out
+}

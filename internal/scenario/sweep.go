@@ -1,0 +1,63 @@
+package scenario
+
+import "fmt"
+
+// SweepFailure is one seed that violated an invariant, shrunk to the
+// shortest event prefix that still fails so the repro is minimal.
+type SweepFailure struct {
+	// Seed is the failing seed.
+	Seed uint64
+	// Err is the invariant violation at the minimal prefix.
+	Err error
+	// MinEvents is the length of the minimal failing event prefix (0
+	// means the world fails its warmup checkpoint with no events at all).
+	MinEvents int
+	// Repro is a copy-pasteable command reproducing the failure.
+	Repro string
+}
+
+// Sweep runs the spec under each seed in turn and shrinks every failure
+// to its minimal event prefix. A nil return means every seed passed.
+func Sweep(spec *Spec, seeds []uint64) []SweepFailure {
+	var fails []SweepFailure
+	for _, seed := range seeds {
+		s := *spec
+		s.Seed = seed
+		if _, err := Run(&s); err != nil {
+			fails = append(fails, shrink(spec, seed, err))
+		}
+	}
+	return fails
+}
+
+// Truncate returns a copy of the spec keeping only the first n events —
+// the sweep's shrinking step, and the -events repro knob.
+func (s *Spec) Truncate(n int) *Spec {
+	out := *s
+	if n >= 0 && n < len(s.Events) {
+		out.Events = s.Events[:n]
+	}
+	return &out
+}
+
+// shrink finds the shortest event prefix that still fails under the
+// seed. Timelines are short, so a linear scan from the empty prefix up
+// is cheaper than bisecting and always yields the true minimum.
+func shrink(spec *Spec, seed uint64, full error) SweepFailure {
+	min, minErr := len(spec.Events), full
+	for k := 0; k <= len(spec.Events); k++ {
+		s := spec.Truncate(k)
+		s.Seed = seed
+		if _, err := Run(s); err != nil {
+			min, minErr = k, err
+			break
+		}
+	}
+	return SweepFailure{
+		Seed:      seed,
+		Err:       minErr,
+		MinEvents: min,
+		Repro: fmt.Sprintf("go run ./cmd/experiments -run scenario -spec %s -seed %d -events %d -numas %d",
+			spec.Name, seed, min, spec.NumAS),
+	}
+}

@@ -127,6 +127,14 @@ func (f *Forwarding) Flush() {
 	}
 }
 
+// Resolve computes the control-plane decision for one prefix as seen
+// from a vantage PoP, under the resolver lock. It is the reference
+// answer the compiled per-PoP FIBs are differentially tested against
+// (internal/scenario's three-way agreement invariant).
+func (f *Forwarding) Resolve(vantage *PoP, prefix netip.Prefix) (fib.NextHop, bool) {
+	return f.resolveLocked(vantage, prefix)
+}
+
 // resolveLocked computes the control-plane decision for one prefix as
 // seen from a vantage PoP: static more-specifics pin their configured
 // egress; everything else runs the post-policy (GeoRR local-pref)

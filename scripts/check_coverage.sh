@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Per-package coverage gate: every package listed in the baseline must
+# report coverage within $COVERAGE_SLACK points of its recorded value.
+# New tests raise the bar by regenerating the baseline:
+#
+#   go test -count=1 -cover ./... | awk '$1=="ok" {for(i=1;i<=NF;i++) \
+#     if($i ~ /%$/){gsub(/%/,"",$i); print $2, $i}}' > scripts/coverage-baseline.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+slack=${COVERAGE_SLACK:-3.0}
+baseline=scripts/coverage-baseline.txt
+out=$(go test -count=1 -cover ./...)
+printf '%s\n' "$out"
+
+fail=0
+while read -r pkg want; do
+  got=$(printf '%s\n' "$out" | awk -v p="$pkg" \
+    '$1=="ok" && $2==p {for(i=1;i<=NF;i++) if($i ~ /%$/){gsub(/%/,"",$i); print $i}}')
+  if [ -z "$got" ]; then
+    echo "COVERAGE MISSING: $pkg reported no coverage (baseline $want%)"
+    fail=1
+    continue
+  fi
+  if ! awk -v g="$got" -v w="$want" -v s="$slack" 'BEGIN{exit !(g+s >= w)}'; then
+    echo "COVERAGE REGRESSION: $pkg at $got%, baseline $want% (slack $slack)"
+    fail=1
+  fi
+done <"$baseline"
+
+if [ "$fail" -ne 0 ]; then
+  echo "coverage gate failed" >&2
+  exit 1
+fi
+echo "coverage gate passed (${slack} slack against $(wc -l <"$baseline") baselined packages)"
