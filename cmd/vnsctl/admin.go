@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+)
+
+// The metrics and trace subcommands talk to vnsd's admin HTTP endpoint
+// rather than the line-based management interface.
+
+// runMetrics fetches /metrics and prints it, optionally filtered to the
+// families whose name starts with the given prefix (comment lines for a
+// matching family are kept so the output stays valid exposition text).
+func runMetrics(addr string, args []string, timeout time.Duration) int {
+	prefix := ""
+	if len(args) > 0 {
+		prefix = args[0]
+	}
+	body, err := adminGet(addr, "/metrics", nil, timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnsctl: %v\n", err)
+		return 1
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		name := line
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name = rest
+		} else if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name = rest
+		}
+		if prefix == "" || strings.HasPrefix(name, prefix) {
+			fmt.Println(line)
+		}
+	}
+	return 0
+}
+
+// runTrace with no arguments dumps the daemon's span ring as JSONL; with
+// "FROM DST" it asks vnsd to record a fresh cross-layer route trace from
+// PoP FROM toward address DST and prints just that trace's spans.
+func runTrace(addr string, args []string, timeout time.Duration) int {
+	q := url.Values{}
+	switch len(args) {
+	case 0:
+	case 2:
+		q.Set("from", strings.ToUpper(args[0]))
+		q.Set("dst", args[1])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: vnsctl trace [FROM_POP DST_ADDR]")
+		return 2
+	}
+	body, err := adminGet(addr, "/trace", q, timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnsctl: %v\n", err)
+		return 1
+	}
+	fmt.Print(body)
+	return 0
+}
+
+func adminGet(addr, path string, q url.Values, timeout time.Duration) (string, error) {
+	u := url.URL{Scheme: "http", Host: addr, Path: path, RawQuery: q.Encode()}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(u.String())
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", u.String(), strings.TrimSpace(string(body)))
+	}
+	return string(body), nil
+}

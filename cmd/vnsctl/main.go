@@ -7,6 +7,14 @@
 //	vnsctl static 1.0.32.0/24 10.0.7.1
 //	vnsctl show 1.0.32.0/20
 //	vnsctl egresses
+//
+// The metrics and trace subcommands hit vnsd's admin HTTP endpoint
+// instead:
+//
+//	vnsctl metrics            # full Prometheus exposition
+//	vnsctl metrics fib_       # only fib_* families
+//	vnsctl trace              # JSONL dump of the span ring
+//	vnsctl trace LON 1.0.32.1 # record + print one route trace
 package main
 
 import (
@@ -21,13 +29,20 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:1791", "vnsd management address")
+	adminAddr := flag.String("admin", "127.0.0.1:1792", "vnsd admin HTTP address (metrics, trace)")
 	timeout := flag.Duration("timeout", 5*time.Second, "I/O timeout")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: vnsctl [-addr host:port] <command> [args...]")
-		fmt.Fprintln(os.Stderr, "commands: force unforce exempt unexempt static unstatic show egresses stats")
+		fmt.Fprintln(os.Stderr, "commands: force unforce exempt unexempt static unstatic show egresses stats metrics trace")
 		os.Exit(2)
+	}
+	switch flag.Arg(0) {
+	case "metrics":
+		os.Exit(runMetrics(*adminAddr, flag.Args()[1:], *timeout))
+	case "trace":
+		os.Exit(runTrace(*adminAddr, flag.Args()[1:], *timeout))
 	}
 	cmd := strings.Join(flag.Args(), " ")
 

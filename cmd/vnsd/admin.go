@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"net/netip"
+	"time"
+
+	"vns/internal/telemetry"
+	"vns/internal/vns"
+)
+
+// newAdminMux builds the admin HTTP surface:
+//
+//	/metrics      Prometheus text-format exposition of every subsystem
+//	/trace        canonical JSONL span dump; ?from=POP&dst=ADDR records a
+//	              fresh cross-layer route trace and returns just its spans
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// Split from startAdmin so tests can drive it through httptest.
+func newAdminMux(reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, reg.Render())
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		from, dst := r.URL.Query().Get("from"), r.URL.Query().Get("dst")
+		if from == "" && dst == "" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			tr.WriteJSONL(w)
+			return
+		}
+		// Network.PoP panics on unknown codes; scan instead so a bad
+		// query string cannot take the daemon down.
+		var pop *vns.PoP
+		for _, p := range network.PoPs {
+			if p.Code == from {
+				pop = p
+				break
+			}
+		}
+		if pop == nil {
+			http.Error(w, fmt.Sprintf("unknown PoP %q", from), http.StatusBadRequest)
+			return
+		}
+		addr, err := netip.ParseAddr(dst)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad dst %q: %v", dst, err), http.StatusBadRequest)
+			return
+		}
+		id := fwd.TraceRoute(pop, addr)
+		if id == 0 {
+			http.Error(w, "tracing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, s := range tr.Spans() {
+			if s.Trace == id {
+				io.WriteString(w, s.JSON())
+				io.WriteString(w, "\n")
+			}
+		}
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, "vnsd admin: /metrics /trace[?from=POP&dst=ADDR] /debug/pprof/\n")
+	})
+	return mux
+}
+
+// startAdmin serves the admin mux on addr and returns the server (shut
+// down by the caller) and the bound listener address.
+func startAdmin(addr string, reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{
+		Handler:           newAdminMux(reg, tr, fwd, network),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -22,12 +22,14 @@ import (
 	"vns/internal/experiments"
 	"vns/internal/health"
 	"vns/internal/netsim"
+	"vns/internal/telemetry"
 	"vns/internal/vns"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:1790", "BGP listen address of the route reflector")
 	mgmt := flag.String("mgmt", "127.0.0.1:1791", "management interface listen address")
+	admin := flag.String("admin", "127.0.0.1:1792", "admin HTTP listen address (/metrics, /trace, /debug/pprof)")
 	numAS := flag.Int("numas", 800, "synthetic Internet size")
 	seed := flag.Uint64("seed", 1, "world seed")
 	egress := flag.Bool("egress", true, "spawn in-process egress routers that dial the reflector")
@@ -52,6 +54,7 @@ func main() {
 		log.Fatalf("starting reflector: %v", err)
 	}
 	defer w.Close()
+	w.RR.SetTelemetry(env.Telemetry)
 	log.Printf("geo route reflector listening on %s (cluster id %v)", w.RR.Addr(), rrID)
 
 	mg, err := core.NewMgmtServer(*mgmt, w.RR)
@@ -61,18 +64,28 @@ func main() {
 	defer mg.Close()
 	log.Printf("management interface on %s", mg.Addr())
 
+	// The tracer and BFD-lite liveness share one simulated clock,
+	// advanced in lockstep with the status ticker (5 simulated seconds
+	// per wall tick), so trace spans carry deterministic timestamps.
+	healthSim := &netsim.Sim{}
+	tracer := telemetry.NewTracer(healthSim.Now, telemetry.DefaultTraceCap)
+
 	// Compile the per-PoP forwarding plane and keep it subscribed to the
 	// reflector: management overrides and re-advertisements trigger
 	// debounced incremental FIB recompiles.
-	fwd := env.Forwarding(vns.ForwardingConfig{Debounce: 50 * time.Millisecond})
+	fwd := env.Forwarding(vns.ForwardingConfig{Debounce: 50 * time.Millisecond, Tracer: tracer})
 	log.Printf("forwarding plane: %d per-PoP FIBs compiled", len(fwd.Engines()))
+
+	adminSrv, adminAddr, err := startAdmin(*admin, env.Telemetry, tracer, fwd, env.Net)
+	if err != nil {
+		log.Fatalf("starting admin endpoint: %v", err)
+	}
+	defer adminSrv.Close()
+	log.Printf("admin endpoint on http://%s (/metrics /trace /debug/pprof)", adminAddr)
 
 	// Liveness and failover: BFD-lite sessions over every L2 link of the
 	// shared fabric, detected failures feeding the failover controller.
-	// The hello exchange runs in simulated time, advanced in lockstep
-	// with the status ticker (5 simulated seconds per wall tick).
-	healthSim := &netsim.Sim{}
-	reg := health.NewRegistry()
+	reg := health.NewRegistryOn(env.Telemetry)
 	mon := health.NewMonitor(healthSim, fwd.Fabric(), health.Config{}, reg)
 	ctl := health.NewController(fwd, env.RR, reg)
 	ctl.Bind(mon)

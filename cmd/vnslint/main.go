@@ -1,5 +1,5 @@
 // Command vnslint is the VNS static-analysis multichecker: it runs the
-// five domain-specific analyzers in internal/analysis over the
+// six domain-specific analyzers in internal/analysis over the
 // packages matched by its arguments and exits nonzero on any finding.
 //
 //	go run ./cmd/vnslint ./...
@@ -16,6 +16,8 @@
 //	                                            (//vnslint:bounds)
 //	errdrop       no discarded conn/writer errors in session/mgmt
 //	              paths                         (//vnslint:errok)
+//	metricname    snake_case subsystem-prefixed names and labels at
+//	              telemetry registration sites  (//vnslint:metricname)
 //
 // Flags:
 //
@@ -36,6 +38,7 @@ import (
 	"vns/internal/analysis/atomicpub"
 	"vns/internal/analysis/errdrop"
 	"vns/internal/analysis/lockcallback"
+	"vns/internal/analysis/metricname"
 	"vns/internal/analysis/simclock"
 	"vns/internal/analysis/wirebounds"
 )
@@ -46,6 +49,7 @@ var all = []*analysis.Analyzer{
 	lockcallback.Analyzer,
 	wirebounds.Analyzer,
 	errdrop.Analyzer,
+	metricname.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,27 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"vns/internal/analysis/analysistest"
+	"vns/internal/analysis/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metricname.Analyzer, "a")
+}
+
+// TestScope pins the exemption: the telemetry package handles names as
+// data; every consumer of the registry is in scope.
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"vns/internal/telemetry": false,
+		"vns/internal/bgp":       true,
+		"vns/internal/health":    true,
+		"vns/cmd/vnsd":           true,
+	} {
+		if got := metricname.Analyzer.Scope(path); got != want {
+			t.Errorf("Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -44,6 +44,9 @@ type SessionConfig struct {
 	HoldTime time.Duration
 	// Logf, when non-nil, receives one line per protocol event.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives FSM transitions and per-type
+	// message counts through pre-resolved handles (see NewMetrics).
+	Metrics *Metrics
 }
 
 func (c *SessionConfig) holdTime() time.Duration {
@@ -96,7 +99,7 @@ func Handshake(conn net.Conn, cfg SessionConfig) (*Session, error) {
 		updates: make(chan Update, 1024),
 		closed:  make(chan struct{}),
 	}
-	s.state.Store(int32(StateOpenSent))
+	s.setState(StateOpenSent)
 
 	open := Open{
 		Version:  version4,
@@ -115,6 +118,9 @@ func Handshake(conn net.Conn, cfg SessionConfig) (*Session, error) {
 		return nil, fmt.Errorf("bgp: arming OPEN timer: %w", err)
 	}
 	msg, err := ReadMessage(conn)
+	if err == nil {
+		cfg.Metrics.msgIn(msg.Type())
+	}
 	if err != nil {
 		if ne, ok := err.(net.Error); ok && ne.Timeout() {
 			// RFC 4271 §8.2.2: the hold timer runs during OpenSent too;
@@ -144,7 +150,7 @@ func Handshake(conn net.Conn, cfg SessionConfig) (*Session, error) {
 	if d := time.Duration(peer.HoldTime) * time.Second; d > 0 && d < s.holdTime {
 		s.holdTime = d
 	}
-	s.state.Store(int32(StateOpenConfirm))
+	s.setState(StateOpenConfirm)
 	cfg.logf("open exchanged with AS%d id %v, hold %v", peer.AS, peer.ID, s.holdTime)
 
 	if err := s.write(Keepalive{}); err != nil {
@@ -156,6 +162,9 @@ func Handshake(conn net.Conn, cfg SessionConfig) (*Session, error) {
 		return nil, fmt.Errorf("bgp: arming hold timer: %w", err)
 	}
 	msg, err = ReadMessage(conn)
+	if err == nil {
+		cfg.Metrics.msgIn(msg.Type())
+	}
 	if err != nil {
 		if ne, ok := err.(net.Error); ok && ne.Timeout() {
 			// Hold timer expiry in OpenConfirm (RFC 4271 §8.2.2).
@@ -174,7 +183,8 @@ func Handshake(conn net.Conn, cfg SessionConfig) (*Session, error) {
 		s.notifyAndClose(NotifFSMError, 0)
 		return nil, fmt.Errorf("bgp: expected KEEPALIVE, got %v", msg.Type())
 	}
-	s.state.Store(int32(StateEstablished))
+	s.setState(StateEstablished)
+	s.cfg.Metrics.establishedDelta(1)
 	cfg.logf("session established with AS%d", peer.AS)
 
 	go s.readLoop()
@@ -184,6 +194,12 @@ func Handshake(conn net.Conn, cfg SessionConfig) (*Session, error) {
 
 // State returns the current FSM state.
 func (s *Session) State() State { return State(s.state.Load()) }
+
+// setState enters a new FSM state and counts the transition.
+func (s *Session) setState(st State) {
+	s.state.Store(int32(st))
+	s.cfg.Metrics.transition(st)
+}
 
 // PeerAS returns the peer's AS number from its OPEN.
 func (s *Session) PeerAS() uint16 { return s.peer.AS }
@@ -233,8 +249,11 @@ func (s *Session) write(m Message) error {
 	if err := s.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
 		return err
 	}
-	_, err = s.conn.Write(buf)
-	return err
+	if _, err := s.conn.Write(buf); err != nil {
+		return err
+	}
+	s.cfg.Metrics.msgOut(m.Type())
+	return nil
 }
 
 func (s *Session) notifyAndClose(code, subcode uint8) {
@@ -251,7 +270,10 @@ func (s *Session) shutdown(err error, sendCease bool) {
 		if sendCease {
 			_ = s.write(Notification{Code: NotifCease})
 		}
-		s.state.Store(int32(StateIdle))
+		if State(s.state.Load()) == StateEstablished {
+			s.cfg.Metrics.establishedDelta(-1)
+		}
+		s.setState(StateIdle)
 		s.conn.Close()
 		close(s.closed)
 	})
@@ -264,6 +286,9 @@ func (s *Session) readLoop() {
 		var msg Message
 		if err == nil {
 			msg, err = ReadMessage(s.conn)
+			if err == nil {
+				s.cfg.Metrics.msgIn(msg.Type())
+			}
 		}
 		if err != nil {
 			select {

@@ -23,6 +23,7 @@ import (
 	"vns/internal/bgp"
 	"vns/internal/geo"
 	"vns/internal/geoip"
+	"vns/internal/telemetry"
 )
 
 // LocalPrefFunc maps the distance between an egress router and a
@@ -82,6 +83,9 @@ type Config struct {
 	LocalPref LocalPrefFunc
 	// ClusterID is the reflector's RFC 4456 cluster identifier.
 	ClusterID netip.Addr
+	// Telemetry, when non-nil, receives assignment-outcome counters and
+	// collectors for the processed/miss totals.
+	Telemetry *telemetry.Registry
 }
 
 // GeoRR is the geo-based route reflector. It is safe for concurrent use.
@@ -112,6 +116,67 @@ type GeoRR struct {
 	// re-resolve prefixes, which calls back into Assign.
 	changeMu sync.Mutex
 	onChange []func(netip.Prefix)
+
+	metrics *georrMetrics
+}
+
+// georrMetrics holds pre-resolved handles for every assignment outcome
+// Assign can produce, so the per-route path pays one atomic add. Nil
+// methods are no-ops.
+type georrMetrics struct {
+	assign     map[string]*telemetry.Counter // keyed by reason label
+	egressDown *telemetry.Counter
+	egressUp   *telemetry.Counter
+}
+
+// assignReasons are the reason labels of core_assignments_total; "geo"
+// is the successful distance-based assignment, the rest mirror
+// Decision.Reason.
+var assignReasons = []string{
+	"geo", "exempt", "unknown_egress", "egress_down",
+	"forced_here", "forced_other", "no_geolocation",
+}
+
+func newGeorrMetrics(rr *GeoRR, reg *telemetry.Registry) *georrMetrics {
+	m := &georrMetrics{assign: make(map[string]*telemetry.Counter, len(assignReasons))}
+	vec := reg.CounterVec("core_assignments_total", "geo local-pref assignments, by outcome", "reason")
+	for _, reason := range assignReasons {
+		m.assign[reason] = vec.With(reason)
+	}
+	trans := reg.CounterVec("core_egress_transitions_total", "egress liveness withdrawals and restores", "state")
+	m.egressDown = trans.With("down")
+	m.egressUp = trans.With("up")
+	reg.RegisterFunc("core_routes_processed_total", "routes run through geo assignment",
+		telemetry.KindCounter, nil, func(emit func([]string, float64)) {
+			p, _ := rr.Stats()
+			emit(nil, float64(p))
+		})
+	reg.RegisterFunc("core_geo_misses_total", "prefixes the geolocation database could not place",
+		telemetry.KindCounter, nil, func(emit func([]string, float64)) {
+			_, misses := rr.Stats()
+			emit(nil, float64(misses))
+		})
+	return m
+}
+
+func (m *georrMetrics) assigned(reason string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.assign[reason]; ok {
+		c.Inc()
+	}
+}
+
+func (m *georrMetrics) egressTransition(down bool) {
+	if m == nil {
+		return
+	}
+	if down {
+		m.egressDown.Inc()
+	} else {
+		m.egressUp.Inc()
+	}
 }
 
 // StaticRoute is a more-specific prefix statically advertised from a
@@ -127,13 +192,17 @@ func New(cfg Config) *GeoRR {
 	if cfg.LocalPref == nil {
 		cfg.LocalPref = LinearLocalPref
 	}
-	return &GeoRR{
+	rr := &GeoRR{
 		cfg:        cfg,
 		egresses:   make(map[netip.Addr]Egress),
 		downEgress: make(map[netip.Addr]bool),
 		forced:     make(map[netip.Prefix]netip.Addr),
 		exempt:     make(map[netip.Prefix]bool),
 	}
+	if cfg.Telemetry != nil {
+		rr.metrics = newGeorrMetrics(rr, cfg.Telemetry)
+	}
+	return rr
 }
 
 // AddEgress registers an egress router with its location.
@@ -181,32 +250,39 @@ func (rr *GeoRR) Assign(from netip.Addr, prefix netip.Prefix) Decision {
 	defer rr.mu.RUnlock()
 
 	if rr.exempt[prefix] {
+		rr.metrics.assigned("exempt")
 		return Decision{Reason: "exempt"}
 	}
 	eg, ok := rr.egresses[from]
 	if !ok {
+		rr.metrics.assigned("unknown_egress")
 		return Decision{Reason: fmt.Sprintf("unknown egress %v", from)}
 	}
 	if rr.downEgress[from] {
 		// Withdrawn by liveness monitoring: no preference, so the route
 		// never beats a geo-processed alternative while the egress is
 		// out of service.
+		rr.metrics.assigned("egress_down")
 		return Decision{Reason: "egress down"}
 	}
 	if forcedTo, ok := rr.forced[prefix]; ok {
 		// A forced prefix gets maximum preference at its designated
 		// egress and none elsewhere, overriding geography.
 		if forcedTo == from {
+			rr.metrics.assigned("forced_here")
 			return Decision{LocalPref: 4000, Reason: "forced here"}
 		}
+		rr.metrics.assigned("forced_other")
 		return Decision{Reason: "forced to other egress"}
 	}
 	rec, ok := rr.cfg.DB.LookupPrefix(prefix)
 	if !ok {
 		rr.missed()
+		rr.metrics.assigned("no_geolocation")
 		return Decision{Reason: "no geolocation"}
 	}
 	d := geo.DistanceKm(eg.Pos, rec.Pos)
+	rr.metrics.assigned("geo")
 	return Decision{
 		//vnslint:lockheld LocalPref is a pure distance→preference curve; it cannot re-enter the GeoRR
 		LocalPref:  rr.cfg.LocalPref(d),
@@ -232,6 +308,7 @@ func (rr *GeoRR) SetEgressDown(id netip.Addr, down bool) bool {
 	} else {
 		delete(rr.downEgress, id)
 	}
+	rr.metrics.egressTransition(down)
 	return true
 }
 
@@ -327,6 +404,10 @@ func reflectAttrs(attrs bgp.Attrs, originator, clusterID netip.Addr) bgp.Attrs {
 	}
 	return attrs
 }
+
+// DB returns the geolocation database the reflector queries (the
+// cross-layer route tracer looks prefixes up through it).
+func (rr *GeoRR) DB() *geoip.DB { return rr.cfg.DB }
 
 // Stats returns (routes processed, geolocation misses).
 func (rr *GeoRR) Stats() (processed, misses uint64) {

@@ -9,6 +9,7 @@ import (
 
 	"vns/internal/bgp"
 	"vns/internal/rib"
+	"vns/internal/telemetry"
 )
 
 // RRServer runs the GeoRR as a real BGP speaker: it accepts iBGP
@@ -51,6 +52,17 @@ func NewRRServer(addr string, rr *GeoRR, localAS uint16, routerID netip.Addr) (*
 
 // Addr returns the listening address.
 func (s *RRServer) Addr() string { return s.ln.Addr().String() }
+
+// SetTelemetry attaches a telemetry registry to the server: future BGP
+// sessions count their FSM transitions and message flows into it, and
+// the Loc-RIB reports decision churn. Call it right after NewRRServer,
+// before peers connect (vnsd does), so every session is instrumented.
+func (s *RRServer) SetTelemetry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.Metrics = bgp.NewMetrics(reg)
+	s.table.SetMetrics(rib.NewMetrics(reg))
+}
 
 // Close shuts down the server and all sessions.
 func (s *RRServer) Close() error {
@@ -107,7 +119,10 @@ func (s *RRServer) acceptLoop() {
 }
 
 func (s *RRServer) serveConn(conn net.Conn) {
-	sess, err := bgp.Handshake(conn, s.cfg)
+	s.mu.Lock()
+	cfg := s.cfg
+	s.mu.Unlock()
+	sess, err := bgp.Handshake(conn, cfg)
 	if err != nil {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"vns/internal/core"
 	"vns/internal/geoip"
 	"vns/internal/loss"
+	"vns/internal/telemetry"
 	"vns/internal/topo"
 	"vns/internal/vns"
 )
@@ -42,6 +43,11 @@ type Env struct {
 	DP      *vns.DataPlane
 	// RNG is the root generator experiments fork from.
 	RNG *loss.RNG
+	// Telemetry aggregates every subsystem's metrics for this
+	// environment: the GeoRR registers its families at construction,
+	// the forwarding plane on first Forwarding call, and the health
+	// registry can be layered on with health.NewRegistryOn.
+	Telemetry *telemetry.Registry
 
 	fwd *vns.Forwarding // built lazily by Forwarding
 }
@@ -49,7 +55,7 @@ type Env struct {
 // NewEnv builds an environment. It is deterministic in cfg.
 func NewEnv(cfg Config) *Env {
 	cfg = cfg.withDefaults()
-	e := &Env{Cfg: cfg, RNG: loss.NewRNG(cfg.Seed)}
+	e := &Env{Cfg: cfg, RNG: loss.NewRNG(cfg.Seed), Telemetry: telemetry.New()}
 
 	e.Topo = topo.Generate(topo.GenConfig{Seed: cfg.Seed, NumAS: cfg.NumAS})
 	e.Net = vns.NewNetwork()
@@ -69,7 +75,7 @@ func NewEnv(cfg Config) *Env {
 		}
 	}
 
-	e.RR = core.New(core.Config{DB: e.DB})
+	e.RR = core.New(core.Config{DB: e.DB, Telemetry: e.Telemetry})
 	for _, p := range e.Net.PoPs {
 		for _, r := range p.Routers {
 			e.RR.AddEgress(core.Egress{ID: r, Pos: p.Place.Pos, PoP: p.Code})
@@ -96,6 +102,9 @@ func (e *Env) GeoEgressPoP(pi *topo.PrefixInfo) *vns.PoP {
 // overrides keep the compiled tables current.
 func (e *Env) Forwarding(cfg vns.ForwardingConfig) *vns.Forwarding {
 	if e.fwd == nil {
+		if cfg.Telemetry == nil {
+			cfg.Telemetry = e.Telemetry
+		}
 		e.fwd = vns.NewForwarding(e.Peering, e.RR, cfg)
 	}
 	return e.fwd

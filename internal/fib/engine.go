@@ -28,6 +28,7 @@ type Engine struct {
 	pub    *Publisher
 	fabric Fabric
 
+	lookups    atomic.Uint64
 	forwarded  atomic.Uint64
 	localExits atomic.Uint64
 	relayed    atomic.Uint64
@@ -49,6 +50,7 @@ func (e *Engine) Publisher() *Publisher { return e.pub }
 // Lookup resolves dst against the PoP's current FIB without sending
 // anything.
 func (e *Engine) Lookup(dst netip.Addr) (NextHop, bool) {
+	e.lookups.Add(1)
 	return e.pub.Lookup(dst)
 }
 
@@ -61,6 +63,7 @@ func (e *Engine) Lookup(dst netip.Addr) (NextHop, bool) {
 // neither callback runs).
 func (e *Engine) Forward(sim *netsim.Sim, dst netip.Addr, pkt netsim.Packet,
 	deliver func(netsim.Packet, NextHop), drop func(hop int)) (NextHop, bool) {
+	e.lookups.Add(1)
 	nh, ok := e.pub.Lookup(dst)
 	if !ok {
 		e.noRoute.Add(1)
@@ -91,6 +94,8 @@ func (e *Engine) Forward(sim *netsim.Sim, dst netip.Addr, pkt netsim.Packet,
 
 // EngineStats counts an engine's forwarding outcomes.
 type EngineStats struct {
+	// Lookups counts FIB queries (Lookup and Forward alike).
+	Lookups uint64
 	// Forwarded is the number of packets with a route (local + relayed).
 	Forwarded uint64
 	// LocalExits left through the engine's own PoP; Relayed crossed the
@@ -106,6 +111,7 @@ type EngineStats struct {
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
+		Lookups:    e.lookups.Load(),
 		Forwarded:  e.forwarded.Load(),
 		LocalExits: e.localExits.Load(),
 		Relayed:    e.relayed.Load(),

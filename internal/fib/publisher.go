@@ -19,6 +19,11 @@ type Config struct {
 	// Zero recompiles synchronously inside Invalidate, which is what
 	// deterministic tests want.
 	Debounce time.Duration
+	// CompileObserver, when non-nil, receives the duration of every
+	// published trie build (telemetry's compile-latency histogram). Like
+	// Resolve it runs with the Publisher's internal lock held and must
+	// not call back into the Publisher.
+	CompileObserver func(time.Duration)
 }
 
 // Stats is a Publisher's observable state, for operational exposure
@@ -170,6 +175,10 @@ func (p *Publisher) compileLocked() *FIB {
 	p.stats.Compiles++
 	p.stats.LastCompile = f.CompileDuration()
 	p.cur.Store(f)
+	if p.cfg.CompileObserver != nil {
+		//vnslint:lockheld CompileObserver is documented to run under the lock and must not call back (see Config.CompileObserver)
+		p.cfg.CompileObserver(f.CompileDuration())
+	}
 	return f
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vns/internal/netsim"
+	"vns/internal/telemetry"
 	"vns/internal/vns"
 )
 
@@ -205,5 +206,52 @@ func TestRegistry(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("Render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRegistryObserveBounded pins the fix for the old registry's
+// unbounded sample growth: the series is a ring of the most recent
+// telemetry.DefaultReservoirCap observations, while counts keep
+// lifetime semantics.
+func TestRegistryObserveBounded(t *testing.T) {
+	r := NewRegistry()
+	total := telemetry.DefaultReservoirCap + 500
+	for i := 0; i < total; i++ {
+		r.Observe("failover.converge_ms", float64(i))
+	}
+	xs := r.Samples("failover.converge_ms")
+	if len(xs) != telemetry.DefaultReservoirCap {
+		t.Fatalf("retained %d samples, want cap %d", len(xs), telemetry.DefaultReservoirCap)
+	}
+	// Window holds the most recent observations, oldest first.
+	if xs[0] != 500 || xs[len(xs)-1] != float64(total-1) {
+		t.Fatalf("window = [%g..%g], want [500..%d]", xs[0], xs[len(xs)-1], total-1)
+	}
+	if p := r.Percentile("failover.converge_ms", 1); p != float64(total-1) {
+		t.Fatalf("p100 = %g, want %d", p, total-1)
+	}
+}
+
+// TestRegistryTelemetryExposition checks that legacy dotted names
+// surface in the underlying telemetry registry under snake_case.
+func TestRegistryTelemetryExposition(t *testing.T) {
+	tel := telemetry.New()
+	r := NewRegistryOn(tel)
+	r.Inc("health.hellos_tx", 7)
+	r.Set("health.sessions_down", 2)
+	r.Observe("failover.converge_ms", 12.5)
+	out := tel.Render()
+	for _, want := range []string{
+		"health_hellos_tx 7",
+		"health_sessions_down 2",
+		`failover_converge_ms{stat="count"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry render missing %q:\n%s", want, out)
+		}
+	}
+	// Wall-clock series must not leak into the deterministic snapshot.
+	if strings.Contains(tel.Snapshot(), "converge") {
+		t.Error("volatile sample series present in Snapshot")
 	}
 }

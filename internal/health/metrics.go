@@ -7,78 +7,191 @@ import (
 	"sync"
 
 	"vns/internal/measure"
+	"vns/internal/telemetry"
 )
 
-// Registry is a small metrics registry for the health subsystem:
-// monotonic counters, point-in-time gauges, and latency samples that
-// summarize through internal/measure. It is safe for concurrent use —
-// the monitor increments from the simulation goroutine while a daemon's
-// status ticker renders from another.
+// Registry is the health subsystem's metrics facade. It keeps the
+// legacy dotted-name API ("health.hellos_tx") that the monitor,
+// controller, and injector use, but stores everything in a
+// telemetry.Registry underneath — counters and gauges become telemetry
+// handles, latency series become bounded reservoirs (the old
+// implementation appended samples forever and grew without bound).
+// Every metric therefore also appears, under its snake_case mangling,
+// in the Prometheus exposition of the underlying registry. It is safe
+// for concurrent use — the monitor increments from the simulation
+// goroutine while a daemon's status ticker renders from another.
 type Registry struct {
+	tel *telemetry.Registry
+
 	mu       sync.Mutex
-	counters map[string]uint64
-	gauges   map[string]float64
-	samples  map[string][]float64
+	counters map[string]*telemetry.Counter
+	gauges   map[string]*telemetry.Gauge
+	samples  map[string]*telemetry.Reservoir
 }
 
-// NewRegistry builds an empty registry.
-func NewRegistry() *Registry {
+// NewRegistry builds a registry over a private telemetry registry.
+func NewRegistry() *Registry { return NewRegistryOn(nil) }
+
+// NewRegistryOn builds a registry that stores its metrics in tel (a
+// private registry when nil), so health metrics share an exposition
+// endpoint with the rest of the system.
+func NewRegistryOn(tel *telemetry.Registry) *Registry {
+	if tel == nil {
+		tel = telemetry.New()
+	}
 	return &Registry{
-		counters: make(map[string]uint64),
-		gauges:   make(map[string]float64),
-		samples:  make(map[string][]float64),
+		tel:      tel,
+		counters: make(map[string]*telemetry.Counter),
+		gauges:   make(map[string]*telemetry.Gauge),
+		samples:  make(map[string]*telemetry.Reservoir),
 	}
 }
 
-// Inc adds d to the named counter.
-func (r *Registry) Inc(name string, d uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.counters[name] += d
+// Telemetry returns the underlying telemetry registry.
+func (r *Registry) Telemetry() *telemetry.Registry { return r.tel }
+
+// mangle converts a legacy dotted metric name into a legal telemetry
+// name: lowercased, non-alphanumerics collapsed to single underscores,
+// and prefixed with "health_" when the result still lacks a subsystem
+// prefix ("failover.converge_ms" -> "failover_converge_ms").
+func mangle(name string) string {
+	var b []byte
+	pendingSep := false
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		default:
+			c = '_'
+		}
+		if c == '_' {
+			pendingSep = len(b) > 0
+			continue
+		}
+		if pendingSep {
+			b = append(b, '_')
+			pendingSep = false
+		}
+		b = append(b, c)
+	}
+	s := string(b)
+	if !telemetry.CheckName(s) {
+		s = "health_" + s
+	}
+	if !telemetry.CheckName(s) {
+		s = "health_unnamed"
+	}
+	return s
 }
 
-// Counter returns the named counter's value.
-func (r *Registry) Counter(name string) uint64 {
+// CounterHandle returns the pre-resolved telemetry counter behind the
+// legacy name, registering it on first use. Hot paths (the monitor's
+// hello loops) hold the handle and pay one atomic add per event.
+func (r *Registry) CounterHandle(name string) *telemetry.Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.counters[name]
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := r.tel.Counter(mangle(name), "health subsystem counter "+name)
+	r.counters[name] = c
+	return c
+}
+
+// GaugeHandle returns the pre-resolved telemetry gauge behind the
+// legacy name, registering it on first use.
+func (r *Registry) GaugeHandle(name string) *telemetry.Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := r.tel.Gauge(mangle(name), "health subsystem gauge "+name)
+	r.gauges[name] = g
+	return g
+}
+
+// reservoir returns the bounded sample window behind the legacy name,
+// registering a volatile collector for it on first use (volatile
+// because every current series holds wall-clock durations).
+func (r *Registry) reservoir(name string) *telemetry.Reservoir {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if res, ok := r.samples[name]; ok {
+		return res
+	}
+	res := telemetry.NewReservoir(0)
+	m := mangle(name)
+	r.tel.RegisterFunc(m, "health sample series "+name, telemetry.KindGauge, []string{"stat"},
+		func(emit func([]string, float64)) {
+			xs := res.Snapshot()
+			if len(xs) == 0 {
+				return
+			}
+			emit([]string{"count"}, float64(res.Count()))
+			emit([]string{"mean"}, measure.Summarize(xs).Mean)
+			emit([]string{"p99"}, measure.NewCDF(xs).Percentile(0.99))
+		})
+	r.tel.MarkVolatile(m)
+	r.samples[name] = res
+	return res
+}
+
+// Inc adds d to the named counter.
+func (r *Registry) Inc(name string, d uint64) { r.CounterHandle(name).Add(d) }
+
+// Counter returns the named counter's value (0 when never incremented).
+func (r *Registry) Counter(name string) uint64 {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Value()
 }
 
 // Set stores the named gauge's current value.
-func (r *Registry) Set(name string, v float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.gauges[name] = v
-}
+func (r *Registry) Set(name string, v float64) { r.GaugeHandle(name).Set(v) }
 
-// Gauge returns the named gauge's value.
+// Gauge returns the named gauge's value (0 when never set).
 func (r *Registry) Gauge(name string) float64 {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.gauges[name]
+	g, ok := r.gauges[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return g.Value()
 }
 
-// Observe appends one sample to the named latency series.
-func (r *Registry) Observe(name string, v float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.samples[name] = append(r.samples[name], v)
-}
+// Observe records one sample into the named latency series. The series
+// is a bounded ring (telemetry.DefaultReservoirCap samples), so
+// long-running daemons no longer grow memory with every observation.
+func (r *Registry) Observe(name string, v float64) { r.reservoir(name).Observe(v) }
 
-// Samples returns a copy of the named series.
+// Samples returns the retained window of the named series oldest-first
+// — every sample ever observed until the ring capacity bites.
 func (r *Registry) Samples(name string) []float64 {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]float64(nil), r.samples[name]...)
+	res, ok := r.samples[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return res.Snapshot()
 }
 
-// Summary summarizes the named series (zero Summary when empty).
+// Summary summarizes the retained window of the named series (zero
+// Summary when empty).
 func (r *Registry) Summary(name string) measure.Summary {
 	return measure.Summarize(r.Samples(name))
 }
 
-// Percentile returns the value at quantile q in [0,1] of the named
-// series.
+// Percentile returns the value at quantile q in [0,1] over the
+// retained window of the named series.
 func (r *Registry) Percentile(name string, q float64) float64 {
 	xs := r.Samples(name)
 	if len(xs) == 0 {
@@ -87,20 +200,34 @@ func (r *Registry) Percentile(name string, q float64) float64 {
 	return measure.NewCDF(xs).Percentile(q)
 }
 
-// Render formats every metric as sorted "name value" lines — the
-// daemon's status ticker output. Sample series render as
-// count/mean/p99.
+// Render formats every metric as sorted "name value" lines under the
+// legacy names — the daemon's status ticker output. Sample series
+// render as count/mean/p99 over the retained window.
 func (r *Registry) Render() string {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	counters := make(map[string]*telemetry.Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*telemetry.Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	samples := make(map[string]*telemetry.Reservoir, len(r.samples))
+	for n, s := range r.samples {
+		samples[n] = s
+	}
+	r.mu.Unlock()
+
 	var lines []string
-	for name, v := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	for name, c := range counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
 	}
-	for name, v := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	for name, g := range gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, g.Value()))
 	}
-	for name, xs := range r.samples {
+	for name, res := range samples {
+		xs := res.Snapshot()
 		if len(xs) == 0 {
 			continue
 		}

@@ -2,6 +2,7 @@ package health
 
 import (
 	"vns/internal/netsim"
+	"vns/internal/telemetry"
 	"vns/internal/vns"
 )
 
@@ -30,6 +31,15 @@ type Monitor struct {
 	paths    [][2]*netsim.Path // per session, per direction
 	byKey    map[[2]int]*LinkSession
 
+	// Pre-resolved telemetry handles: the hello paths run every
+	// TxInterval for every session, so they pay one atomic add instead
+	// of a name lookup.
+	hellosTx     *telemetry.Counter
+	hellosRx     *telemetry.Counter
+	sessionUps   *telemetry.Counter
+	sessionDowns *telemetry.Counter
+	sessionsDown *telemetry.Gauge
+
 	onEvent []func(Event)
 	running bool
 }
@@ -43,6 +53,13 @@ func NewMonitor(sim *netsim.Sim, fab *vns.L2Fabric, cfg Config, reg *Registry) *
 		cfg:   cfg,
 		reg:   reg,
 		byKey: make(map[[2]int]*LinkSession),
+	}
+	if reg != nil {
+		m.hellosTx = reg.CounterHandle("health.hellos_tx")
+		m.hellosRx = reg.CounterHandle("health.hellos_rx")
+		m.sessionUps = reg.CounterHandle("health.session_ups")
+		m.sessionDowns = reg.CounterHandle("health.session_downs")
+		m.sessionsDown = reg.GaugeHandle("health.sessions_down")
 	}
 	for _, l := range fab.Network().L2Links() {
 		a, b := l[0], l[1]
@@ -113,9 +130,9 @@ func (m *Monitor) tick() {
 			up := s.State() == StateUp
 			if m.reg != nil {
 				if up {
-					m.reg.Inc("health.session_ups", 1)
+					m.sessionUps.Inc()
 				} else {
-					m.reg.Inc("health.session_downs", 1)
+					m.sessionDowns.Inc()
 				}
 			}
 			for _, fn := range m.onEvent {
@@ -127,7 +144,7 @@ func (m *Monitor) tick() {
 		}
 	}
 	if m.reg != nil {
-		m.reg.Set("health.sessions_down", float64(m.DownSessions()))
+		m.sessionsDown.Set(float64(m.DownSessions()))
 	}
 	m.sim.Schedule(now+m.cfg.TxIntervalMs/1000, m.tick)
 }
@@ -139,7 +156,7 @@ func (m *Monitor) tick() {
 func (m *Monitor) send(s *LinkSession, i, dir int) {
 	wire := s.nextHello(dir).Marshal()
 	if m.reg != nil {
-		m.reg.Inc("health.hellos_tx", 1)
+		m.hellosTx.Inc()
 	}
 	m.paths[i][dir].Send(m.sim, netsim.Packet{Size: len(wire)},
 		func(netsim.Packet) {
@@ -150,7 +167,7 @@ func (m *Monitor) send(s *LinkSession, i, dir int) {
 			}
 			s.recordRx(dir, m.sim.Now(), h)
 			if m.reg != nil {
-				m.reg.Inc("health.hellos_rx", 1)
+				m.hellosRx.Inc()
 			}
 		}, nil)
 }

@@ -199,6 +199,7 @@ func Best(routes []*Route) *Route {
 // current best path. It is not safe for concurrent use.
 type Table struct {
 	entries map[netip.Prefix]*entry
+	metrics *Metrics
 }
 
 type entry struct {
@@ -233,7 +234,16 @@ func (t *Table) Upsert(r *Route) (bestChanged bool) {
 	if !replaced {
 		e.routes = append(e.routes, r)
 	}
-	return e.reselect()
+	changed := e.reselect()
+	if m := t.metrics; m != nil {
+		m.Upserts.Inc()
+		m.Reselects.Inc()
+		if changed {
+			m.BestChanges.Inc()
+		}
+		m.Prefixes.Set(float64(len(t.entries)))
+	}
+	return changed
 }
 
 // Withdraw removes the candidate learned from the given peer and reports
@@ -257,12 +267,24 @@ func (t *Table) Withdraw(prefix netip.Prefix, peerID, peerAddr netip.Addr) (best
 		return false
 	}
 	e.routes = kept
+	var changed bool
 	if len(e.routes) == 0 {
-		changed := e.best != nil
+		changed = e.best != nil
 		delete(t.entries, prefix)
-		return changed
+	} else {
+		changed = e.reselect()
+		if m := t.metrics; m != nil {
+			m.Reselects.Inc()
+		}
 	}
-	return e.reselect()
+	if m := t.metrics; m != nil {
+		m.Withdraws.Inc()
+		if changed {
+			m.BestChanges.Inc()
+		}
+		m.Prefixes.Set(float64(len(t.entries)))
+	}
+	return changed
 }
 
 // reselect reruns selection and reports whether the best path changed

@@ -11,6 +11,7 @@ import (
 	"vns/internal/health"
 	"vns/internal/media"
 	"vns/internal/netsim"
+	"vns/internal/telemetry"
 	"vns/internal/vns"
 )
 
@@ -73,6 +74,7 @@ type engine struct {
 	fwd      *vns.Forwarding
 	sim      *netsim.Sim
 	reg      *health.Registry
+	tracer   *telemetry.Tracer
 	mon      *health.Monitor
 	inj      *health.Injector
 	vantages []*vns.PoP
@@ -108,9 +110,13 @@ func newEngine(spec *Spec) (*engine, error) {
 		cfg.NumAS = defaultNumAS
 	}
 	env := experiments.NewEnv(cfg)
-	fwd := env.Forwarding(vns.ForwardingConfig{}) // sync recompiles
 	sim := &netsim.Sim{}
-	reg := health.NewRegistry()
+	// Telemetry rides the sim clock: metric state is a pure function of
+	// the spec, and trace spans carry virtual timestamps, so checkpoints
+	// can pin both in the golden trace.
+	tracer := telemetry.NewTracer(sim.Now, telemetry.DefaultTraceCap)
+	fwd := env.Forwarding(vns.ForwardingConfig{Tracer: tracer}) // sync recompiles
+	reg := health.NewRegistryOn(env.Telemetry)
 	mon := health.NewMonitor(sim, fwd.Fabric(), health.Config{}, reg)
 	ctl := health.NewController(fwd, env.RR, reg)
 	ctl.Bind(mon)
@@ -121,6 +127,7 @@ func newEngine(spec *Spec) (*engine, error) {
 		fwd:        fwd,
 		sim:        sim,
 		reg:        reg,
+		tracer:     tracer,
 		mon:        mon,
 		inj:        health.NewInjector(sim, fwd.Fabric(), reg),
 		faults:     make(map[[2]int]faultRec),

@@ -1,0 +1,152 @@
+package telemetry
+
+import "testing"
+
+// Hot-path budgets in ns/op. The counter budget is the headline number
+// from DESIGN.md: an instrumented hot path (FIB lookup, netsim packet
+// hop, BFD hello rx) pays one atomic add, which must stay within
+// budgetCounterNs on commodity hardware. The others bound the rest of
+// the per-event API.
+const (
+	budgetCounterNs   = 25
+	budgetHistogramNs = 150
+	budgetVecHitNs    = 25 // pre-resolved handle, identical to Counter
+)
+
+// TestBudgetTest enforces the hot-path overhead budget. CI runs it via
+// `go test -run BudgetTest ./internal/telemetry`. It measures with
+// testing.Benchmark and takes the best of three runs to shed scheduler
+// noise; it skips under -race and -short, where per-op cost reflects
+// instrumentation rather than design.
+func TestBudgetTest(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments atomics; budget not meaningful")
+	}
+	if testing.Short() {
+		t.Skip("skipping budget measurement in -short mode")
+	}
+
+	r := New()
+	c := r.Counter("budget_ops_total", "")
+	h := r.Histogram("budget_latency_seconds", "", nil)
+	pre := r.CounterVec("budget_hits_total", "", "pop").With("LON")
+
+	cases := []struct {
+		name   string
+		budget float64 // ns/op
+		fn     func(b *testing.B)
+	}{
+		{"counter_add", budgetCounterNs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+			}
+		}},
+		{"vec_preresolved_add", budgetVecHitNs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pre.Inc()
+			}
+		}},
+		{"histogram_observe", budgetHistogramNs, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.Observe(0.0042)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			best := bestOfThree(tc.fn)
+			t.Logf("%s: %.1f ns/op (budget %.0f)", tc.name, best, tc.budget)
+			if best > tc.budget {
+				t.Errorf("%s costs %.1f ns/op, over the %.0f ns/op budget", tc.name, best, tc.budget)
+			}
+		})
+	}
+}
+
+func bestOfThree(fn func(b *testing.B)) float64 {
+	best := float64(0)
+	for i := 0; i < 3; i++ {
+		res := testing.Benchmark(fn)
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		if i == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// Benchmarks for manual inspection (`go test -bench . ./internal/telemetry`).
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := New().Counter("bench_ops_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := New().Counter("bench_ops_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkVecWithResolution(b *testing.B) {
+	v := New().CounterVec("bench_hits_total", "", "pop")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("LON").Inc() // cold-path shape: resolve every time
+	}
+}
+
+func BenchmarkVecPreResolved(b *testing.B) {
+	h := New().CounterVec("bench_hits_total", "", "pop").With("LON")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Inc() // hot-path shape
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench_latency_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := New().Gauge("bench_depth_current", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkReservoirObserve(b *testing.B) {
+	r := NewReservoir(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Observe(float64(i))
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	r := goldenRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Render()
+	}
+}
+
+func BenchmarkTracerEvent(b *testing.B) {
+	tr := NewTracer(nil, DefaultTraceCap)
+	id := tr.StartTrace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Event(id, "bench", "tick")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports whether the race detector is compiled in; the
+// hot-path budget test skips itself under -race, where every atomic op
+// pays instrumentation cost unrelated to the metric design.
+const raceEnabled = true

@@ -1,0 +1,67 @@
+// Package telemetry is the VNS-wide metrics and tracing core: a
+// dependency-free (standard library only) registry of atomic counters,
+// gauges, lock-free fixed-bucket histograms, and labeled metric
+// vectors, rendered in Prometheus text exposition format, plus a
+// virtual-clock-aware trace layer (trace.go) that follows packets and
+// routing decisions across layers.
+//
+// The design rule is that hot paths pay one atomic add and nothing
+// else. Registration and label resolution are cold-path operations that
+// return pre-resolved handles (*Counter, *Gauge, *Histogram); the FIB
+// lookup path, netsim packet hops, and BFD hello receive path hold such
+// handles and never touch a map or a lock. The budget is enforced by
+// TestBudgetTest: a counter add must stay within 25ns/op.
+//
+// Subsystems that already maintain their own atomic state (netsim link
+// counters, fib engine outcomes) are re-exported without double
+// counting through RegisterFunc collectors, which sample that state at
+// render time.
+//
+// Metric names are snake_case with a subsystem prefix
+// ("fib_lookups_total"); the registry panics on malformed names at
+// registration time and the vnslint metricname analyzer rejects them
+// statically.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; handles obtained from a Registry are shared by name.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a point-in-time value. The zero value is ready to use and
+// reads 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge (CAS loop; gauges are not hot-path metrics).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

@@ -9,6 +9,7 @@ import (
 	"vns/internal/fib"
 	"vns/internal/media"
 	"vns/internal/netsim"
+	"vns/internal/telemetry"
 )
 
 // This file wires the compiled forwarding plane (internal/fib) into the
@@ -28,6 +29,14 @@ type ForwardingConfig struct {
 	// Emulate tunes the internal netsim paths packets are forwarded
 	// over.
 	Emulate EmulateOptions
+	// Telemetry, when non-nil, receives the forwarding-plane metric
+	// families: per-PoP engine and FIB state through render-time
+	// collectors, per-link fabric counters, media flow counters, and
+	// the (volatile) compile-latency histogram.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records cross-layer decision and media-flow
+	// spans (TraceRoute, ForwardStream).
+	Tracer *telemetry.Tracer
 }
 
 // Forwarding is the deployment's forwarding plane: one fib.Publisher
@@ -47,6 +56,13 @@ type Forwarding struct {
 	resolveMu sync.Mutex
 
 	fabric *L2Fabric
+
+	tracer *telemetry.Tracer
+	// Pre-resolved media flow counters (nil without telemetry).
+	mediaStreams  *telemetry.Counter
+	mediaSent     *telemetry.Counter
+	mediaReceived *telemetry.Counter
+	mediaLost     *telemetry.Counter
 }
 
 // NewForwarding compiles the initial per-PoP FIBs and subscribes to the
@@ -59,15 +75,29 @@ func NewForwarding(pr *Peering, rr *core.GeoRR, cfg ForwardingConfig) *Forwardin
 		pubs:    make(map[int]*fib.Publisher, len(pr.Net.PoPs)),
 		engines: make(map[int]*fib.Engine, len(pr.Net.PoPs)),
 		fabric:  NewL2Fabric(pr.Net, cfg.Emulate),
+		tracer:  cfg.Tracer,
+	}
+	var compileObs func(time.Duration)
+	if cfg.Telemetry != nil {
+		// Compile latency is wall-clock, so the family is volatile:
+		// rendered on the admin endpoint, excluded from deterministic
+		// snapshots.
+		h := cfg.Telemetry.Histogram("fib_compile_seconds", "FIB trie compile latency", telemetry.DefBuckets)
+		cfg.Telemetry.MarkVolatile("fib_compile_seconds")
+		compileObs = func(d time.Duration) { h.Observe(d.Seconds()) }
 	}
 	for _, p := range pr.Net.PoPs {
 		vantage := p
 		pub := fib.NewPublisher(fib.Config{
-			Resolve:  func(pfx netip.Prefix) (fib.NextHop, bool) { return f.resolveLocked(vantage, pfx) },
-			Debounce: cfg.Debounce,
+			Resolve:         func(pfx netip.Prefix) (fib.NextHop, bool) { return f.resolveLocked(vantage, pfx) },
+			Debounce:        cfg.Debounce,
+			CompileObserver: compileObs,
 		})
 		f.pubs[p.ID] = pub
 		f.engines[p.ID] = fib.NewEngine(p.ID, pub, f)
+	}
+	if cfg.Telemetry != nil {
+		f.registerTelemetry(cfg.Telemetry)
 	}
 	// Subscribe before the initial compile so no change can fall
 	// between them.
@@ -266,19 +296,51 @@ func (f *Forwarding) ForwardStream(sim *netsim.Sim, ingress *PoP, dst netip.Addr
 	st := media.NewStreamStats(tr.Definition, tr.DurationSec)
 	egress := make(map[int]int)
 	start := sim.Now()
+	flow := f.traceStreamStart(ingress, dst, len(tr.Packets))
+	if f.mediaStreams != nil {
+		f.mediaStreams.Inc()
+	}
 	for i, p := range tr.Packets {
 		p := p
 		seq := uint32(i)
 		sim.Schedule(start+p.AtSec, func() {
 			st.RecordSent(p.AtSec)
+			if f.mediaSent != nil {
+				f.mediaSent.Inc()
+			}
+			sentAt := sim.Now()
 			_, ok := eng.Forward(sim, dst, netsim.Packet{Seq: seq, Size: p.Size},
 				func(pkt netsim.Packet, nh fib.NextHop) {
 					egress[nh.PoP]++
 					st.RecordReceived(p.AtSec*1000, (sim.Now()-start)*1000)
+					if f.mediaReceived != nil {
+						f.mediaReceived.Inc()
+					}
+					// One span per delivered first packet keeps flow
+					// traces bounded while still pinning the path taken.
+					if flow != 0 && seq == 0 {
+						f.tracer.Record(flow, "netsim", "deliver", sentAt, sim.Now(),
+							telemetry.Int("egress_pop", nh.PoP))
+					}
 				},
-				func(int) { st.RecordLost(p.AtSec) })
+				func(hop int) {
+					st.RecordLost(p.AtSec)
+					if f.mediaLost != nil {
+						f.mediaLost.Inc()
+					}
+					if flow != 0 && seq == 0 {
+						f.tracer.Record(flow, "netsim", "drop", sentAt, sim.Now(),
+							telemetry.Int("hop", hop))
+					}
+				})
 			if !ok {
 				st.RecordLost(p.AtSec)
+				if f.mediaLost != nil {
+					f.mediaLost.Inc()
+				}
+				if flow != 0 && seq == 0 {
+					f.tracer.Event(flow, "fib", "no_route")
+				}
 			}
 		})
 	}
