@@ -246,6 +246,19 @@ func BenchmarkEconStudy(b *testing.B) {
 	b.ReportMetric(last.L2Utilization*100, "%L2util")
 }
 
+// BenchmarkAdaptiveStudy regenerates the measured-delay-vs-geography
+// comparison: run the adaptive controller to convergence and measure
+// the assigned-path delay on the prefixes it moved.
+func BenchmarkAdaptiveStudy(b *testing.B) {
+	e := sharedEnv(b)
+	var r *experiments.AdaptiveResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AdaptiveStudy(e, experiments.AdaptiveConfig{})
+	}
+	b.ReportMetric(float64(r.Overridden), "overridden")
+	b.ReportMetric(r.OverriddenGeoMs.Percentile(0.5)-r.OverriddenAdaptiveMs.Percentile(0.5), "p50gainMs")
+}
+
 // BenchmarkCongruenceStudy regenerates the §4.1 prefix-congruence
 // analysis that justifies one-address-per-prefix probing.
 func BenchmarkCongruenceStudy(b *testing.B) {

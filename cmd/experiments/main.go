@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,table1,fig12,congruence,repair,mediaclaims,qoe,capacity,econ,ablations,failover,scenario or all")
+	run := flag.String("run", "all", "comma-separated experiments: fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,table1,fig12,congruence,adaptive,repair,mediaclaims,qoe,capacity,econ,ablations,failover,scenario or all")
 	seed := flag.Uint64("seed", 0, "random seed (0 = default)")
 	numAS := flag.Int("numas", 0, "synthetic Internet size in ASes (0 = default 3000)")
 	days := flag.Int("days", 0, "measurement days for fig9/fig10/fig11/fig12/table1 (0 = defaults)")
@@ -124,6 +124,9 @@ func main() {
 	section("fig12", func() string { return lastMile.RenderFig12() })
 
 	section("congruence", func() string { return experiments.CongruenceStudy(env()).Render() })
+	section("adaptive", func() string {
+		return experiments.AdaptiveStudy(env(), experiments.AdaptiveConfig{}).Render()
+	})
 	section("repair", func() string { return experiments.RepairStudy(env(), 30).Render() })
 	section("mediaclaims", func() string { return experiments.MediaClaims(env(), 100).Render() })
 	section("qoe", func() string { return experiments.QoEStudy(env(), 8).Render() })

@@ -67,6 +67,27 @@ func runTrace(addr string, args []string, timeout time.Duration) int {
 	return 0
 }
 
+// runAdaptive prints the measured-delay routing state: current
+// overrides and damped prefixes, plus per-path estimates with "paths".
+func runAdaptive(addr string, args []string, timeout time.Duration) int {
+	q := url.Values{}
+	switch {
+	case len(args) == 0:
+	case len(args) == 1 && args[0] == "paths":
+		q.Set("paths", "1")
+	default:
+		fmt.Fprintln(os.Stderr, "usage: vnsctl adaptive [paths]")
+		return 2
+	}
+	body, err := adminGet(addr, "/adaptive", q, timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnsctl: %v\n", err)
+		return 1
+	}
+	fmt.Print(body)
+	return 0
+}
+
 func adminGet(addr, path string, q url.Values, timeout time.Duration) (string, error) {
 	u := url.URL{Scheme: "http", Host: addr, Path: path, RawQuery: q.Encode()}
 	client := &http.Client{Timeout: timeout}

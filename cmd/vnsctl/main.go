@@ -15,6 +15,8 @@
 //	vnsctl metrics fib_       # only fib_* families
 //	vnsctl trace              # JSONL dump of the span ring
 //	vnsctl trace LON 1.0.32.1 # record + print one route trace
+//	vnsctl adaptive           # overrides and damped prefixes
+//	vnsctl adaptive paths     # plus per-path delay estimates
 package main
 
 import (
@@ -35,7 +37,7 @@ func main() {
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: vnsctl [-addr host:port] <command> [args...]")
-		fmt.Fprintln(os.Stderr, "commands: force unforce exempt unexempt static unstatic show egresses stats metrics trace")
+		fmt.Fprintln(os.Stderr, "commands: force unforce exempt unexempt static unstatic show egresses stats metrics trace adaptive")
 		os.Exit(2)
 	}
 	switch flag.Arg(0) {
@@ -43,6 +45,8 @@ func main() {
 		os.Exit(runMetrics(*adminAddr, flag.Args()[1:], *timeout))
 	case "trace":
 		os.Exit(runTrace(*adminAddr, flag.Args()[1:], *timeout))
+	case "adaptive":
+		os.Exit(runAdaptive(*adminAddr, flag.Args()[1:], *timeout))
 	}
 	cmd := strings.Join(flag.Args(), " ")
 

@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"net/netip"
+	"strings"
 	"time"
 
+	"vns/internal/adaptive"
 	"vns/internal/telemetry"
 	"vns/internal/vns"
 )
@@ -18,10 +20,13 @@ import (
 //	/metrics      Prometheus text-format exposition of every subsystem
 //	/trace        canonical JSONL span dump; ?from=POP&dst=ADDR records a
 //	              fresh cross-layer route trace and returns just its spans
+//	/adaptive     measured-delay routing state: overrides, damped
+//	              prefixes, and (with ?paths=1) per-path estimates
 //	/debug/pprof  the standard Go profiling endpoints
 //
-// Split from startAdmin so tests can drive it through httptest.
-func newAdminMux(reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network) *http.ServeMux {
+// actl may be nil (adaptive routing disabled). Split from startAdmin so
+// tests can drive it through httptest.
+func newAdminMux(reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network, actl *adaptive.Controller) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -68,6 +73,15 @@ func newAdminMux(reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forward
 		}
 	})
 
+	mux.HandleFunc("/adaptive", func(w http.ResponseWriter, r *http.Request) {
+		if actl == nil {
+			http.Error(w, "adaptive routing disabled (start vnsd with -adaptive)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, renderAdaptive(actl, r.URL.Query().Get("paths") != ""))
+	})
+
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -79,20 +93,45 @@ func newAdminMux(reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forward
 			http.NotFound(w, r)
 			return
 		}
-		io.WriteString(w, "vnsd admin: /metrics /trace[?from=POP&dst=ADDR] /debug/pprof/\n")
+		io.WriteString(w, "vnsd admin: /metrics /trace[?from=POP&dst=ADDR] /adaptive[?paths=1] /debug/pprof/\n")
 	})
 	return mux
 }
 
+// renderAdaptive formats the controller's state for the /adaptive
+// endpoint. Times are as of the last completed probe round: the admin
+// goroutine must not read the simulated clock.
+func renderAdaptive(actl *adaptive.Controller, withPaths bool) string {
+	now := actl.LastRoundAt()
+	st := actl.Status(now)
+	var b strings.Builder
+	fmt.Fprintf(&b, "adaptive: prefixes=%d paths=%d samples=%d overrides=%d suppressed=%d t=%.1fs\n",
+		st.Prefixes, st.Paths, st.Samples, len(st.Overrides), len(st.Suppressed), now)
+	for _, o := range st.Overrides {
+		fmt.Fprintf(&b, "override %v %s>%s router=%v adv=%.1fms\n",
+			o.Prefix, o.GeoCode, o.Code, o.Router, o.AdvantageMs)
+	}
+	for _, s := range st.Suppressed {
+		fmt.Fprintf(&b, "damped %v penalty=%.0f flips=%d\n", s.Prefix, s.Penalty, s.Flips)
+	}
+	if withPaths {
+		for _, p := range actl.PathStates() {
+			fmt.Fprintf(&b, "path %v %s rtt=%.1fms jitter=%.1fms samples=%d age=%.1fs\n",
+				p.Prefix, p.Code, p.SmoothedMs, p.JitterMs, p.Samples, now-p.LastAt)
+		}
+	}
+	return b.String()
+}
+
 // startAdmin serves the admin mux on addr and returns the server (shut
 // down by the caller) and the bound listener address.
-func startAdmin(addr string, reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network) (*http.Server, string, error) {
+func startAdmin(addr string, reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network, actl *adaptive.Controller) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
 	srv := &http.Server{
-		Handler:           newAdminMux(reg, tr, fwd, network),
+		Handler:           newAdminMux(reg, tr, fwd, network, actl),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go srv.Serve(ln)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"vns/internal/adaptive"
 	"vns/internal/core"
 	"vns/internal/experiments"
 	"vns/internal/health"
@@ -17,8 +18,9 @@ import (
 )
 
 // newTestAdmin assembles a small environment the way main() does —
-// reflector telemetry, health registry, forwarding plane, tracer — and
-// returns an httptest server on the admin mux.
+// reflector telemetry, health registry, forwarding plane, tracer, and
+// an adaptive controller on the same clock — and returns an httptest
+// server on the admin mux.
 func newTestAdmin(t *testing.T) (*httptest.Server, *experiments.Env) {
 	t.Helper()
 	env := experiments.NewEnv(experiments.Config{Seed: 7, NumAS: 64})
@@ -37,9 +39,22 @@ func newTestAdmin(t *testing.T) (*httptest.Server, *experiments.Env) {
 	reg := health.NewRegistryOn(env.Telemetry)
 	mon := health.NewMonitor(sim, fwd.Fabric(), health.Config{}, reg)
 	mon.Start()
-	sim.Run(2)
 
-	srv := httptest.NewServer(newAdminMux(env.Telemetry, tracer, fwd, env.Net))
+	actl := adaptive.NewController(adaptive.Config{
+		Sim:       sim,
+		Probe:     env.AdaptiveProbe(),
+		Sink:      env.RR,
+		Telemetry: env.Telemetry,
+	})
+	for _, tr := range env.AdaptiveTracks() {
+		if err := actl.Track(tr.Prefix, tr.Cands); err != nil {
+			t.Fatalf("Track: %v", err)
+		}
+	}
+	actl.Start()
+	sim.Run(8)
+
+	srv := httptest.NewServer(newAdminMux(env.Telemetry, tracer, fwd, env.Net, actl))
 	t.Cleanup(srv.Close)
 	return srv, env
 }
@@ -110,5 +125,44 @@ func TestAdminTraceRoute(t *testing.T) {
 	code, dump := get(t, srv.URL+"/trace")
 	if code != http.StatusOK || !strings.Contains(dump, `"layer":"trace"`) {
 		t.Errorf("/trace dump status=%d missing spans:\n%s", code, dump)
+	}
+}
+
+func TestAdminAdaptive(t *testing.T) {
+	srv, _ := newTestAdmin(t)
+
+	code, body := get(t, srv.URL+"/adaptive")
+	if code != http.StatusOK {
+		t.Fatalf("/adaptive status = %d, body %q", code, body)
+	}
+	if !strings.HasPrefix(body, "adaptive: prefixes=") {
+		t.Errorf("/adaptive missing status header:\n%s", body)
+	}
+	// Eight probe rounds have run, so the summary must reflect samples.
+	if strings.Contains(body, "samples=0 ") {
+		t.Errorf("/adaptive reports no samples after 8 rounds:\n%s", body)
+	}
+
+	code, body = get(t, srv.URL+"/adaptive?paths=1")
+	if code != http.StatusOK {
+		t.Fatalf("/adaptive?paths=1 status = %d", code)
+	}
+	if !strings.Contains(body, "\npath ") || !strings.Contains(body, "rtt=") {
+		t.Errorf("/adaptive?paths=1 missing per-path lines:\n%s", body)
+	}
+}
+
+func TestAdminAdaptiveDisabled(t *testing.T) {
+	// Only the /adaptive handler touches the controller, so the other
+	// mux dependencies can be nil for this probe.
+	srv := httptest.NewServer(newAdminMux(nil, nil, nil, nil, nil))
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/adaptive")
+	if code != http.StatusNotFound {
+		t.Fatalf("/adaptive with nil controller status = %d, want 404", code)
+	}
+	if !strings.Contains(body, "adaptive routing disabled") {
+		t.Errorf("404 body missing hint: %q", body)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"vns/internal/adaptive"
 	"vns/internal/core"
 	"vns/internal/experiments"
 	"vns/internal/health"
@@ -37,6 +38,10 @@ func main() {
 	failLink := flag.String("faillink", "", "demo fault: L2 link to kill, as PoP codes like SIN-SYD")
 	failAt := flag.Duration("failat", 15*time.Second, "when (simulated) to kill -faillink")
 	failFor := flag.Duration("failfor", 30*time.Second, "how long (simulated) -faillink stays down")
+	adaptiveOn := flag.Bool("adaptive", false, "probe path delays and override geography where measurements contradict it")
+	adaptiveInterval := flag.Float64("adaptive-interval", 1.0, "adaptive probe round period (simulated seconds)")
+	adaptiveBudget := flag.Int("adaptive-budget", 0, "adaptive probes per round (0 = every tracked path)")
+	adaptiveMargin := flag.Float64("adaptive-margin", 0, "delay advantage (ms) required before overriding geography (0 = default)")
 	flag.Parse()
 
 	log.SetPrefix("vnsd: ")
@@ -76,12 +81,40 @@ func main() {
 	fwd := env.Forwarding(vns.ForwardingConfig{Debounce: 50 * time.Millisecond, Tracer: tracer})
 	log.Printf("forwarding plane: %d per-PoP FIBs compiled", len(fwd.Engines()))
 
-	adminSrv, adminAddr, err := startAdmin(*admin, env.Telemetry, tracer, fwd, env.Net)
+	// Measured-delay adaptive routing: probe rounds ride the health
+	// clock, overrides land on the same reflector vnsctl manages. Built
+	// before the egress goroutine starts so AdaptiveTracks prewarms the
+	// per-origin candidate cache while the process is still single-
+	// threaded.
+	var actl *adaptive.Controller
+	if *adaptiveOn {
+		actl = adaptive.NewController(adaptive.Config{
+			Sim:         healthSim,
+			IntervalSec: *adaptiveInterval,
+			Budget:      *adaptiveBudget,
+			Stability:   adaptive.StabilityConfig{ApplyMarginMs: *adaptiveMargin},
+			Probe:       env.AdaptiveProbe(),
+			Sink:        env.RR,
+			Telemetry:   env.Telemetry,
+		})
+		tracks := env.AdaptiveTracks()
+		for _, tr := range tracks {
+			if err := actl.Track(tr.Prefix, tr.Cands); err != nil {
+				log.Fatalf("adaptive: %v", err)
+			}
+		}
+		actl.Start()
+		st := actl.Status(healthSim.Now())
+		log.Printf("adaptive: tracking %d prefixes over %d paths, interval %.1fs, budget %d",
+			st.Prefixes, st.Paths, *adaptiveInterval, *adaptiveBudget)
+	}
+
+	adminSrv, adminAddr, err := startAdmin(*admin, env.Telemetry, tracer, fwd, env.Net, actl)
 	if err != nil {
 		log.Fatalf("starting admin endpoint: %v", err)
 	}
 	defer adminSrv.Close()
-	log.Printf("admin endpoint on http://%s (/metrics /trace /debug/pprof)", adminAddr)
+	log.Printf("admin endpoint on http://%s (/metrics /trace /adaptive /debug/pprof)", adminAddr)
 
 	// Liveness and failover: BFD-lite sessions over every L2 link of the
 	// shared fabric, detected failures feeding the failover controller.
@@ -138,6 +171,11 @@ func main() {
 				s := eng.Stats().FIB
 				pop := env.Net.PoPByID(eng.PoP())
 				log.Printf("%s last-compile=%v", fibStatusLine(pop.Code, s), s.LastCompile)
+			}
+			if actl != nil {
+				st := actl.Status(healthSim.Now())
+				log.Printf("adaptive: overrides=%d suppressed=%d samples=%d paths=%d",
+					len(st.Overrides), len(st.Suppressed), st.Samples, st.Paths)
 			}
 		case <-stop:
 			log.Print("shutting down")

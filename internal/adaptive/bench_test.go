@@ -1,0 +1,104 @@
+package adaptive
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// Hot-path budgets in ns/op (PR-5 budget pattern, see
+// internal/telemetry/budget_test.go). Ingest runs once per probe
+// sample on the sim's event loop: one mutex, a handful of float ops,
+// no allocation. Decision runs once per touched prefix per round and
+// is allowed the map lookups behind the snapshot reads.
+const (
+	budgetIngestNs   = 100
+	budgetDecisionNs = 2000
+)
+
+func benchFixture(b *testing.B) ([]Cand, netip.Prefix, *Estimator) {
+	b.Helper()
+	prefix := netip.MustParsePrefix("203.0.113.0/24")
+	cands := []Cand{
+		{PoP: 1, Code: "GEO", Router: netip.MustParseAddr("10.0.0.1"), GeoKm: 500},
+		{PoP: 2, Code: "ALT", Router: netip.MustParseAddr("10.0.0.2"), GeoKm: 3000},
+		{PoP: 3, Code: "ALT2", Router: netip.MustParseAddr("10.0.0.3"), GeoKm: 4000},
+	}
+	est := NewEstimator(2)
+	for i, cd := range cands {
+		p := est.Path(Key{PoP: cd.PoP, Prefix: prefix})
+		for s := 0; s < 8; s++ {
+			p.Ingest(100+float64(10*i), float64(s))
+		}
+	}
+	return cands, prefix, est
+}
+
+func BenchmarkAdaptiveIngest(b *testing.B) {
+	p := &PathEstimator{invHalfLife: 1 / 2.0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Ingest(100.5, float64(i)*0.001)
+	}
+}
+
+func BenchmarkAdaptiveDecision(b *testing.B) {
+	cands, prefix, est := benchFixture(b)
+	cfg := StabilityConfig{}.withDefaults()
+	state := func(k Key) Snapshot {
+		if pe, ok := est.Lookup(k); ok {
+			return pe.State()
+		}
+		return Snapshot{}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = evaluate(cfg, cands, 0, 2, state, prefix, 8)
+	}
+}
+
+// TestBudgetTest enforces the adaptive hot-path budgets in CI
+// (`go test -run BudgetTest ./internal/adaptive`): sample ingest must
+// stay allocation-free and under budgetIngestNs. Skips under -race and
+// -short, where per-op cost reflects instrumentation, not design.
+func TestBudgetTest(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments the mutex; budget not meaningful")
+	}
+	if testing.Short() {
+		t.Skip("skipping budget measurement in -short mode")
+	}
+
+	cases := []struct {
+		name      string
+		budget    float64 // ns/op
+		allocFree bool
+		fn        func(b *testing.B)
+	}{
+		{"sample_ingest", budgetIngestNs, true, BenchmarkAdaptiveIngest},
+		{"decision_evaluate", budgetDecisionNs, false, BenchmarkAdaptiveDecision},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			best, allocs := bestOfThree(tc.fn)
+			t.Logf("%s: %.1f ns/op, %d allocs/op (budget %.0f ns)", tc.name, best, allocs, tc.budget)
+			if best > tc.budget {
+				t.Errorf("%s costs %.1f ns/op, over the %.0f ns/op budget", tc.name, best, tc.budget)
+			}
+			if tc.allocFree && allocs > 0 {
+				t.Errorf("%s allocates %d times per op; the hot path must be allocation-free", tc.name, allocs)
+			}
+		})
+	}
+}
+
+func bestOfThree(fn func(b *testing.B)) (nsPerOp float64, allocsPerOp int64) {
+	for i := 0; i < 3; i++ {
+		res := testing.Benchmark(fn)
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		if i == 0 || ns < nsPerOp {
+			nsPerOp = ns
+			allocsPerOp = res.AllocsPerOp()
+		}
+	}
+	return nsPerOp, allocsPerOp
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package adaptive
+
+// raceEnabled reports whether the race detector is compiled in; the
+// hot-path budget test skips itself under -race, where mutex and
+// arithmetic instrumentation swamps the estimator's real cost.
+const raceEnabled = true

@@ -42,6 +42,7 @@ var Analyzer = &analysis.Analyzer{
 	Doc:       "forbid wall-clock time and global math/rand in virtual-clock packages",
 	Directive: "wallclock",
 	Scope: analysis.PathIn(
+		"vns/internal/adaptive",
 		"vns/internal/netsim",
 		"vns/internal/vns",
 		"vns/internal/fib",

@@ -105,6 +105,11 @@ type GeoRR struct {
 	exempt  map[netip.Prefix]bool       // prefixes excluded from geo-routing
 	statics []StaticRoute
 
+	// Measured-delay overrides installed by internal/adaptive: the
+	// prefix prefers this egress at AdaptiveLocalPref — above any
+	// geographic preference, below a management force.
+	overrides map[netip.Prefix]netip.Addr
+
 	// Counters for observability. misses has its own lock because it
 	// is incremented while mu is read-held.
 	processed uint64
@@ -125,6 +130,7 @@ type GeoRR struct {
 // methods are no-ops.
 type georrMetrics struct {
 	assign     map[string]*telemetry.Counter // keyed by reason label
+	assignVec  *telemetry.CounterVec         // for the lazily added "adaptive" child
 	egressDown *telemetry.Counter
 	egressUp   *telemetry.Counter
 }
@@ -143,6 +149,10 @@ func newGeorrMetrics(rr *GeoRR, reg *telemetry.Registry) *georrMetrics {
 	for _, reason := range assignReasons {
 		m.assign[reason] = vec.With(reason)
 	}
+	// The "adaptive" child is NOT pre-created: it appears (at zero) in
+	// rendered output the moment it exists, and only adaptive-enabled
+	// runs should see it. SetOverride creates it on first use.
+	m.assignVec = vec
 	trans := reg.CounterVec("core_egress_transitions_total", "egress liveness withdrawals and restores", "state")
 	m.egressDown = trans.With("down")
 	m.egressUp = trans.With("up")
@@ -198,6 +208,7 @@ func New(cfg Config) *GeoRR {
 		downEgress: make(map[netip.Addr]bool),
 		forced:     make(map[netip.Prefix]netip.Addr),
 		exempt:     make(map[netip.Prefix]bool),
+		overrides:  make(map[netip.Prefix]netip.Addr),
 	}
 	if cfg.Telemetry != nil {
 		rr.metrics = newGeorrMetrics(rr, cfg.Telemetry)
@@ -274,6 +285,15 @@ func (rr *GeoRR) Assign(from netip.Addr, prefix netip.Prefix) Decision {
 		}
 		rr.metrics.assigned("forced_other")
 		return Decision{Reason: "forced to other egress"}
+	}
+	if over, ok := rr.overrides[prefix]; ok && over == from {
+		// Measured delay contradicts geography here: the adaptive
+		// controller pinned this egress. Other egresses keep their
+		// geographic preference (always below AdaptiveLocalPref), so if
+		// this router is withdrawn the prefix degrades to geo-routing
+		// instead of losing all preference.
+		rr.metrics.assigned("adaptive")
+		return Decision{LocalPref: AdaptiveLocalPref, Reason: "adaptive"}
 	}
 	rec, ok := rr.cfg.DB.LookupPrefix(prefix)
 	if !ok {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"vns/internal/adaptive"
 	"vns/internal/experiments"
 	"vns/internal/fib"
 	"vns/internal/health"
@@ -95,6 +96,14 @@ type engine struct {
 	// selectors caches resolved prefix selectors.
 	selectors map[string]netip.Prefix
 
+	// Adaptive-routing state (spec.Adaptive != nil): the controller, the
+	// scripted probe biases, and each tracked prefix's geographically
+	// predicted egress PoP (the "geo" bias target and the gain
+	// baseline). All mutated on the sim goroutine only.
+	adaptive   *adaptive.Controller
+	probeBias  map[adaptive.Key]float64
+	geoBestPoP map[netip.Prefix]int
+
 	flows []*flow
 	// prevLink holds the last checkpoint's per-link counters for the
 	// monotonicity half of the conservation invariant, keyed by link
@@ -155,6 +164,11 @@ func newEngine(spec *Spec) (*engine, error) {
 		}
 		if _, err := e.resolveSelector(ev.Prefix); err != nil {
 			return nil, fmt.Errorf("scenario %s: event %d: %w", spec.Name, i, err)
+		}
+	}
+	if spec.Adaptive != nil {
+		if err := e.setupAdaptive(); err != nil {
+			return nil, fmt.Errorf("scenario %s: adaptive: %w", spec.Name, err)
 		}
 	}
 	return e, nil
@@ -234,6 +248,9 @@ func (e *engine) run() (*Result, error) {
 		res.Prefixes, res.Sessions, joinPoPs(e.vantages))
 
 	e.mon.Start()
+	if e.adaptive != nil {
+		e.adaptive.Start()
+	}
 	e.sim.Run(warmupCheckpointSec)
 	if err := e.checkpoint(0, "init", warmupCheckpointSec, false); err != nil {
 		res.Trace = e.trace.String()
@@ -271,6 +288,11 @@ func (e *engine) run() (*Result, error) {
 	}
 	e.sim.Run(endAt)
 	e.mon.Stop()
+	if e.adaptive != nil {
+		// Stop before the final drain: the probe loop reschedules itself
+		// until stopped, and conservation requires an empty event queue.
+		e.adaptive.Stop()
+	}
 	e.sim.RunAll()
 	e.fwd.Flush()
 	err := e.checkpoint(cp+1, "final", endAt, true)
@@ -411,6 +433,12 @@ func (e *engine) apply(ev *Event) error {
 		}
 	case OpMediaFlow:
 		return e.startFlow(ev)
+	case OpProbeBias:
+		return e.applyProbeBias(ev)
+	case OpProbeOscillate:
+		return e.applyProbeOscillate(ev)
+	case OpCheckpoint:
+		// Nothing to do: the run loop checkpoints after the settle.
 	default:
 		return fmt.Errorf("unknown op %q", ev.Op)
 	}

@@ -107,6 +107,24 @@ func (e *engine) checkpoint(cp int, label string, at float64, final bool) error 
 	fmt.Fprintf(&e.trace, "  fib %s\n", strings.Join(parts, " "))
 	fmt.Fprintf(&e.trace, "  igp-down %s\n", e.igpDownLinks())
 	fmt.Fprintf(&e.trace, "  egress-down %s\n", orDash(strings.Join(e.sortedDownEgresses(), ",")))
+	if e.adaptive != nil {
+		st := e.adaptive.Status(at)
+		fmt.Fprintf(&e.trace, "  adaptive overrides=%d suppressed=%d samples=%d\n",
+			len(st.Overrides), len(st.Suppressed), st.Samples)
+		for _, o := range st.Overrides {
+			fmt.Fprintf(&e.trace, "  override %v %s>%s adv=%.1fms\n",
+				o.Prefix, o.GeoCode, o.Code, o.AdvantageMs)
+		}
+		for _, s := range st.Suppressed {
+			fmt.Fprintf(&e.trace, "  damped %v penalty=%.0f flips=%d\n",
+				s.Prefix, s.Penalty, s.Flips)
+		}
+		if final {
+			n, geoMs, adMs := e.adaptiveGain()
+			fmt.Fprintf(&e.trace, "  adaptive-gain prefixes=%d geo=%.1fms adaptive=%.1fms\n",
+				n, geoMs, adMs)
+		}
+	}
 	fmt.Fprintf(&e.trace, "  fabric tx=%d drops=%d loss=%d queue=%d admin=%d\n",
 		agg.tx, agg.drops, agg.loss, agg.queue, agg.admin)
 	if final {
@@ -199,6 +217,23 @@ func (e *engine) checkCongruence(v *vns.PoP) (okN, skipped int, err error) {
 			}
 			if !routed || nh.Router != fr {
 				return okN, skipped, fmt.Errorf("%s: %v is forced to %v but FIB says %v", v.Code, pfx, fr, nh)
+			}
+			okN++
+			continue
+		}
+		if or, overridden := e.env.RR.OverrideFor(pfx); overridden {
+			// Sanctioned divergence: the adaptive controller measured
+			// this prefix faster away from its great-circle egress, so
+			// the oracle's claim is suspended — the FIB must instead
+			// follow the override exactly (while its router is usable;
+			// when it is not, routing degrades to geography mid-
+			// transition and the oracle can't know which, so skip).
+			if !e.usableFrom(v, or) {
+				skipped++
+				continue
+			}
+			if !routed || nh.Router != or {
+				return okN, skipped, fmt.Errorf("%s: %v is adaptively overridden to %v but FIB says %v", v.Code, pfx, or, nh)
 			}
 			okN++
 			continue

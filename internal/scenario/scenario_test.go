@@ -78,7 +78,7 @@ func TestScenarioSeedSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seed sweep is not for -short")
 	}
-	for _, name := range []string{"churn", "churn-failover"} {
+	for _, name := range []string{"churn", "churn-failover", "adaptive-geo-wrong", "adaptive-flap-damp"} {
 		spec, err := Load(name)
 		if err != nil {
 			t.Fatal(err)
@@ -106,6 +106,13 @@ func TestSpecValidation(t *testing.T) {
 		`{"name":"x","events":[{"at":1,"op":"warp-core-breach"}]}`,                       // unknown op
 		`{"name":"x","events":[{"at":1,"op":"link-down","link":"A-B","bogus":true}]}`,    // unknown field
 		`{"name":"x","events":[{"at":1,"op":"link-down","link":"A-B"},{"at":2,"op":"link-up","link":"A-B"}]}`, // inside settle
+		`{"name":"x","events":[{"at":1,"op":"probe-bias","pop":"geo","prefix":"#0","extraMs":50}]}`,           // adaptive op, no adaptive block
+		`{"name":"x","adaptive":{"applyMarginMs":-1},"events":[]}`,                                            // negative margin
+		`{"name":"x","adaptive":{"prefixes":["10.0.0.0/8"]},"events":[]}`,                                     // literal prefix, not "#N"
+		`{"name":"x","adaptive":{},"events":[{"at":1,"op":"probe-oscillate","pop":"geo","prefix":"#0","extraMs":50,"cycles":3}]}`, // no period
+		`{"name":"x","adaptive":{},"events":[{"at":1,"op":"probe-oscillate","pop":"geo","prefix":"#0","periodSec":2,"cycles":3}]}`, // no extraMs
+		`{"name":"x","adaptive":{},"events":[{"at":1,"op":"probe-bias","prefix":"#0","extraMs":50}]}`,         // no pop
+		`{"name":"x","adaptive":{},"events":[{"at":1,"op":"checkpoint","pop":"LON"}]}`,                        // checkpoint takes no operands
 	}
 	for i, in := range bad {
 		if _, err := ParseSpec([]byte(in)); err == nil {
@@ -118,5 +125,13 @@ func TestSpecValidation(t *testing.T) {
 		{"at":3.5,"op":"link-up","link":"LON-ASH"}]}`
 	if _, err := ParseSpec([]byte(ok)); err != nil {
 		t.Errorf("good spec rejected: %v", err)
+	}
+	okAdaptive := `{"name":"x","adaptive":{"intervalSec":0.5,"budget":4,"prefixes":["#0","#3"]},"events":[
+		{"at":1,"op":"probe-bias","pop":"geo","prefix":"#0","extraMs":50},
+		{"at":3.5,"op":"probe-oscillate","pop":"SIN","prefix":"#3","extraMs":-30,"periodSec":2,"cycles":2},
+		{"at":10,"op":"checkpoint"},
+		{"at":13,"op":"probe-bias","pop":"geo","prefix":"#0","extraMs":0}]}`
+	if _, err := ParseSpec([]byte(okAdaptive)); err != nil {
+		t.Errorf("good adaptive spec rejected: %v", err)
 	}
 }

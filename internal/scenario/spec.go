@@ -41,6 +41,63 @@ type Spec struct {
 	// EndSec extends the run past the last checkpoint (flows need the
 	// room to finish); 0 derives it from the timeline.
 	EndSec float64 `json:"endSec"`
+	// Adaptive, when present, runs the measured-delay adaptive routing
+	// controller (internal/adaptive) over the scenario: probe rounds on
+	// the virtual clock feed per-path estimators, and overrides install
+	// on the GeoRR when measurement contradicts geography. The
+	// congruence invariant treats those overrides as sanctioned
+	// divergence, and checkpoints report the override set.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
+}
+
+// AdaptiveSpec configures the scenario's adaptive controller. Zero
+// fields take the internal/adaptive defaults.
+type AdaptiveSpec struct {
+	// IntervalSec is the probe round period (default 1.0).
+	IntervalSec float64 `json:"intervalSec,omitempty"`
+	// Budget caps probes per round; 0 probes every tracked path.
+	Budget int `json:"budget,omitempty"`
+	// HalfLifeSec is the estimator EWMA half-life.
+	HalfLifeSec float64 `json:"halfLifeSec,omitempty"`
+	// ApplyMarginMs / ReleaseMarginMs / JitterFactor / MinSamples /
+	// StalenessSec tune the decision layer.
+	ApplyMarginMs   float64 `json:"applyMarginMs,omitempty"`
+	ReleaseMarginMs float64 `json:"releaseMarginMs,omitempty"`
+	JitterFactor    float64 `json:"jitterFactor,omitempty"`
+	MinSamples      uint64  `json:"minSamples,omitempty"`
+	StalenessSec    float64 `json:"stalenessSec,omitempty"`
+	// PenaltyPerFlap / PenaltyHalfLifeSec / SuppressThreshold /
+	// ReuseThreshold tune RFC 2439-style flap damping.
+	PenaltyPerFlap     float64 `json:"penaltyPerFlap,omitempty"`
+	PenaltyHalfLifeSec float64 `json:"penaltyHalfLifeSec,omitempty"`
+	SuppressThreshold  float64 `json:"suppressThreshold,omitempty"`
+	ReuseThreshold     float64 `json:"reuseThreshold,omitempty"`
+	// Prefixes lists "#N" selectors to track; empty tracks every
+	// originated, geolocated, unforced prefix.
+	Prefixes []string `json:"prefixes,omitempty"`
+}
+
+func (a *AdaptiveSpec) validate() error {
+	for name, v := range map[string]float64{
+		"intervalSec": a.IntervalSec, "halfLifeSec": a.HalfLifeSec,
+		"applyMarginMs": a.ApplyMarginMs, "releaseMarginMs": a.ReleaseMarginMs,
+		"stalenessSec": a.StalenessSec, "penaltyPerFlap": a.PenaltyPerFlap,
+		"penaltyHalfLifeSec": a.PenaltyHalfLifeSec,
+		"suppressThreshold":  a.SuppressThreshold, "reuseThreshold": a.ReuseThreshold,
+	} {
+		if v < 0 {
+			return fmt.Errorf("adaptive: negative %s", name)
+		}
+	}
+	if a.Budget < 0 {
+		return fmt.Errorf("adaptive: negative budget")
+	}
+	for _, sel := range a.Prefixes {
+		if !strings.HasPrefix(sel, "#") {
+			return fmt.Errorf("adaptive: prefix selector %q (want \"#N\")", sel)
+		}
+	}
+	return nil
 }
 
 // Event is one scripted action on the timeline. Which fields matter
@@ -96,6 +153,16 @@ const (
 	OpAnnounceBurst = "announce-burst"
 	OpWithdrawBurst = "withdraw-burst"
 	OpMediaFlow     = "media-flow"
+	// Adaptive-only ops (the spec must set "adaptive"). probe-bias adds
+	// ExtraMs to every probe of the (PoP, Prefix) path — PoP is a code
+	// or "geo" for the prefix's geographically predicted egress; ExtraMs
+	// 0 clears the bias. probe-oscillate toggles the bias on for half of
+	// each period, off for the other half, Cycles times — the flap-
+	// damping workload. checkpoint observes state without acting, so
+	// convergence under a probe budget can be watched mid-run.
+	OpProbeBias      = "probe-bias"
+	OpProbeOscillate = "probe-oscillate"
+	OpCheckpoint     = "checkpoint"
 )
 
 // defaultSettleSec is the quiesce window between an event and its
@@ -117,7 +184,7 @@ func (ev *Event) settle() float64 {
 func (ev *Event) checkpointAt() float64 {
 	end := ev.At
 	switch ev.Op {
-	case OpFlapLink:
+	case OpFlapLink, OpProbeOscillate:
 		end += float64(ev.Cycles) * ev.PeriodSec
 	case OpDelaySpike:
 		end += ev.DurSec
@@ -134,10 +201,21 @@ func (s *Spec) Validate() error {
 	if s.NumAS < 0 {
 		return fmt.Errorf("scenario %s: negative numAS", s.Name)
 	}
+	if s.Adaptive != nil {
+		if err := s.Adaptive.validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
 	// The first event may not fire before the warmup checkpoint.
 	prev := warmupCheckpointSec
 	for i := range s.Events {
 		ev := &s.Events[i]
+		switch ev.Op {
+		case OpProbeBias, OpProbeOscillate, OpCheckpoint:
+			if s.Adaptive == nil {
+				return fmt.Errorf("scenario %s: event %d: op %s needs \"adaptive\" set", s.Name, i, ev.Op)
+			}
+		}
 		if ev.At < prev {
 			return fmt.Errorf("scenario %s: event %d (%s) at %g fires inside the previous checkpoint's settle window (ends %g)",
 				s.Name, i, ev.Op, ev.At, prev)
@@ -201,6 +279,22 @@ func (ev *Event) validate() error {
 	case OpMediaFlow:
 		if ev.PoP == "" || ev.Prefix == "" || ev.DurSec <= 0 {
 			return fmt.Errorf("media-flow needs pop (ingress), prefix and durSec > 0")
+		}
+	case OpProbeBias:
+		if ev.PoP == "" || ev.Prefix == "" {
+			return fmt.Errorf("probe-bias needs pop (code or \"geo\") and prefix")
+		}
+	case OpProbeOscillate:
+		if ev.PoP == "" || ev.Prefix == "" || ev.ExtraMs == 0 ||
+			ev.PeriodSec <= 0 || ev.Cycles <= 0 {
+			return fmt.Errorf("probe-oscillate needs pop, prefix, extraMs != 0, periodSec > 0 and cycles > 0")
+		}
+	case OpCheckpoint:
+		// A pure observation point: any operand is a spec mistake.
+		if ev.PoP != "" || ev.Prefix != "" || ev.Link != "" || ev.Router != "" ||
+			ev.ExtraMs != 0 || ev.PeriodSec != 0 || ev.Cycles != 0 ||
+			ev.DurSec != 0 || ev.Count != 0 {
+			return fmt.Errorf("checkpoint takes no operands")
 		}
 	default:
 		return fmt.Errorf("unknown op %q", ev.Op)

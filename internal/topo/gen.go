@@ -193,8 +193,11 @@ func Generate(cfg GenConfig) *Topology {
 		}
 	}
 
-	// Pass 3: trans-Pacific flag for AP ASes.
-	for _, a := range t.ASes {
+	// Pass 3: trans-Pacific flag for AP ASes. Iterate in ASN order, not
+	// map order: the draw count is fixed either way, but map order would
+	// randomize which ASes the draws land on.
+	for _, n := range t.asns {
+		a := t.ASes[n]
 		if a.Region == geo.RegionAP && a.Type != LTP && rng.Bool(cfg.TransPacificFrac) {
 			a.TransPacific = true
 		}
