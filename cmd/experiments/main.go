@@ -25,12 +25,13 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,table1,fig12,congruence,adaptive,repair,mediaclaims,qoe,capacity,econ,ablations,failover,scenario or all")
+	run := flag.String("run", "all", "comma-separated experiments: fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,table1,fig12,congruence,adaptive,repair,mediaclaims,qoe,capacity,econ,ablations,failover,flows,scenario or all")
 	seed := flag.Uint64("seed", 0, "random seed (0 = default)")
 	numAS := flag.Int("numas", 0, "synthetic Internet size in ASes (0 = default 3000)")
 	days := flag.Int("days", 0, "measurement days for fig9/fig10/fig11/fig12/table1 (0 = defaults)")
 	requests := flag.Int("requests", 0, "anycast requests for fig7 (0 = 60000)")
 	plot := flag.Bool("plot", false, "append ASCII plots to figures that have them")
+	flows := flag.Int("flows", 0, "aggregate flow population for the flows study (0 = 1,000,000)")
 	spec := flag.String("spec", "", "run only this embedded scenario spec (scenario experiment)")
 	seeds := flag.Int("seeds", 0, "scenario seed-sweep width (0 = single run per spec)")
 	events := flag.Int("events", -1, "truncate scenario timelines to the first N events (-1 = all; sweep repros use this)")
@@ -144,6 +145,12 @@ func main() {
 			cfg.Cfg.NumAS = 1500
 		}
 		return experiments.FailoverStudy(cfg).Render()
+	})
+
+	// The flow study builds its own links (capacity scaled to its load)
+	// and needs no shared environment.
+	section("flows", func() string {
+		return experiments.FlowStudy(experiments.FlowsConfig{Flows: *flows}).Render()
 	})
 
 	section("ablations", func() string {

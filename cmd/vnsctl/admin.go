@@ -88,6 +88,22 @@ func runAdaptive(addr string, args []string, timeout time.Duration) int {
 	return 0
 }
 
+// runFlows prints the aggregate flow engine's published state: totals,
+// drop partition, reorder-buffer wait, and per-group offload mode.
+func runFlows(addr string, args []string, timeout time.Duration) int {
+	if len(args) != 0 {
+		fmt.Fprintln(os.Stderr, "usage: vnsctl flows")
+		return 2
+	}
+	body, err := adminGet(addr, "/flows", nil, timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnsctl: %v\n", err)
+		return 1
+	}
+	fmt.Print(body)
+	return 0
+}
+
 func adminGet(addr, path string, q url.Values, timeout time.Duration) (string, error) {
 	u := url.URL{Scheme: "http", Host: addr, Path: path, RawQuery: q.Encode()}
 	client := &http.Client{Timeout: timeout}

@@ -17,6 +17,7 @@
 //	vnsctl trace LON 1.0.32.1 # record + print one route trace
 //	vnsctl adaptive           # overrides and damped prefixes
 //	vnsctl adaptive paths     # plus per-path delay estimates
+//	vnsctl flows              # aggregate flow totals and group modes
 package main
 
 import (
@@ -37,7 +38,7 @@ func main() {
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: vnsctl [-addr host:port] <command> [args...]")
-		fmt.Fprintln(os.Stderr, "commands: force unforce exempt unexempt static unstatic show egresses stats metrics trace adaptive")
+		fmt.Fprintln(os.Stderr, "commands: force unforce exempt unexempt static unstatic show egresses stats metrics trace adaptive flows")
 		os.Exit(2)
 	}
 	switch flag.Arg(0) {
@@ -47,6 +48,8 @@ func main() {
 		os.Exit(runTrace(*adminAddr, flag.Args()[1:], *timeout))
 	case "adaptive":
 		os.Exit(runAdaptive(*adminAddr, flag.Args()[1:], *timeout))
+	case "flows":
+		os.Exit(runFlows(*adminAddr, flag.Args()[1:], *timeout))
 	}
 	cmd := strings.Join(flag.Args(), " ")
 

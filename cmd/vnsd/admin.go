@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"vns/internal/adaptive"
+	"vns/internal/flowsim"
 	"vns/internal/telemetry"
 	"vns/internal/vns"
 )
@@ -22,11 +23,14 @@ import (
 //	              fresh cross-layer route trace and returns just its spans
 //	/adaptive     measured-delay routing state: overrides, damped
 //	              prefixes, and (with ?paths=1) per-path estimates
+//	/flows        aggregate flow engine state: totals, drop partition,
+//	              reorder-buffer wait, per-group offload mode
 //	/debug/pprof  the standard Go profiling endpoints
 //
-// actl may be nil (adaptive routing disabled). Split from startAdmin so
-// tests can drive it through httptest.
-func newAdminMux(reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network, actl *adaptive.Controller) *http.ServeMux {
+// actl may be nil (adaptive routing disabled), as may feng (no -flows
+// population). Split from startAdmin so tests can drive it through
+// httptest.
+func newAdminMux(reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network, actl *adaptive.Controller, feng *flowsim.Engine) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -82,6 +86,15 @@ func newAdminMux(reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forward
 		io.WriteString(w, renderAdaptive(actl, r.URL.Query().Get("paths") != ""))
 	})
 
+	mux.HandleFunc("/flows", func(w http.ResponseWriter, r *http.Request) {
+		if feng == nil {
+			http.Error(w, "aggregate flows disabled (start vnsd with -flows)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, renderFlows(feng))
+	})
+
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -93,7 +106,7 @@ func newAdminMux(reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forward
 			http.NotFound(w, r)
 			return
 		}
-		io.WriteString(w, "vnsd admin: /metrics /trace[?from=POP&dst=ADDR] /adaptive[?paths=1] /debug/pprof/\n")
+		io.WriteString(w, "vnsd admin: /metrics /trace[?from=POP&dst=ADDR] /adaptive[?paths=1] /flows /debug/pprof/\n")
 	})
 	return mux
 }
@@ -125,13 +138,13 @@ func renderAdaptive(actl *adaptive.Controller, withPaths bool) string {
 
 // startAdmin serves the admin mux on addr and returns the server (shut
 // down by the caller) and the bound listener address.
-func startAdmin(addr string, reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network, actl *adaptive.Controller) (*http.Server, string, error) {
+func startAdmin(addr string, reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network, actl *adaptive.Controller, feng *flowsim.Engine) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
 	srv := &http.Server{
-		Handler:           newAdminMux(reg, tr, fwd, network, actl),
+		Handler:           newAdminMux(reg, tr, fwd, network, actl, feng),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go srv.Serve(ln)

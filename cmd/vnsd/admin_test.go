@@ -54,7 +54,13 @@ func newTestAdmin(t *testing.T) (*httptest.Server, *experiments.Env) {
 	actl.Start()
 	sim.Run(8)
 
-	srv := httptest.NewServer(newAdminMux(env.Telemetry, tracer, fwd, env.Net, actl))
+	feng, err := setupFlows(sim, env, fwd, env.Telemetry, 400, 25, true)
+	if err != nil {
+		t.Fatalf("setupFlows: %v", err)
+	}
+	sim.Run(12)
+
+	srv := httptest.NewServer(newAdminMux(env.Telemetry, tracer, fwd, env.Net, actl, feng))
 	t.Cleanup(srv.Close)
 	return srv, env
 }
@@ -155,7 +161,7 @@ func TestAdminAdaptive(t *testing.T) {
 func TestAdminAdaptiveDisabled(t *testing.T) {
 	// Only the /adaptive handler touches the controller, so the other
 	// mux dependencies can be nil for this probe.
-	srv := httptest.NewServer(newAdminMux(nil, nil, nil, nil, nil))
+	srv := httptest.NewServer(newAdminMux(nil, nil, nil, nil, nil, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv.URL+"/adaptive")
@@ -163,6 +169,42 @@ func TestAdminAdaptiveDisabled(t *testing.T) {
 		t.Fatalf("/adaptive with nil controller status = %d, want 404", code)
 	}
 	if !strings.Contains(body, "adaptive routing disabled") {
+		t.Errorf("404 body missing hint: %q", body)
+	}
+}
+
+// TestAdminFlows exercises the /flows endpoint against a live engine:
+// the status header, per-group lines with multipath and direct-delay
+// figures, and real traffic counted after twelve simulated seconds.
+func TestAdminFlows(t *testing.T) {
+	srv, _ := newTestAdmin(t)
+
+	code, body := get(t, srv.URL+"/flows")
+	if code != http.StatusOK {
+		t.Fatalf("/flows status = %d, body %q", code, body)
+	}
+	if !strings.HasPrefix(body, "flows=400 ") {
+		t.Errorf("/flows missing totals header:\n%s", body)
+	}
+	if strings.Contains(body, "scheduled=0 ") {
+		t.Errorf("/flows reports no traffic after 12 simulated seconds:\n%s", body)
+	}
+	for _, want := range []string{"group LON-AMS:", "group SIN-SJS:", "paths=2", "direct="} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/flows missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestAdminFlowsDisabled(t *testing.T) {
+	srv := httptest.NewServer(newAdminMux(nil, nil, nil, nil, nil, nil))
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/flows")
+	if code != http.StatusNotFound {
+		t.Fatalf("/flows with nil engine status = %d, want 404", code)
+	}
+	if !strings.Contains(body, "aggregate flows disabled") {
 		t.Errorf("404 body missing hint: %q", body)
 	}
 }

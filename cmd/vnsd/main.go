@@ -21,6 +21,7 @@ import (
 	"vns/internal/adaptive"
 	"vns/internal/core"
 	"vns/internal/experiments"
+	"vns/internal/flowsim"
 	"vns/internal/health"
 	"vns/internal/netsim"
 	"vns/internal/telemetry"
@@ -42,6 +43,9 @@ func main() {
 	adaptiveInterval := flag.Float64("adaptive-interval", 1.0, "adaptive probe round period (simulated seconds)")
 	adaptiveBudget := flag.Int("adaptive-budget", 0, "adaptive probes per round (0 = every tracked path)")
 	adaptiveMargin := flag.Float64("adaptive-margin", 0, "delay advantage (ms) required before overriding geography (0 = default)")
+	flowsN := flag.Int("flows", 0, "aggregate conference flows over the fabric (0 = disabled)")
+	flowsRate := flag.Float64("flows-rate", 25, "per-flow packet rate (pps) for -flows")
+	flowsOffload := flag.Bool("flows-offload", true, "let -flows groups offload to the direct Internet when the overlay loses")
 	flag.Parse()
 
 	log.SetPrefix("vnsd: ")
@@ -109,12 +113,25 @@ func main() {
 			st.Prefixes, st.Paths, *adaptiveInterval, *adaptiveBudget)
 	}
 
-	adminSrv, adminAddr, err := startAdmin(*admin, env.Telemetry, tracer, fwd, env.Net, actl)
+	// The aggregate flow population rides the same health clock: each
+	// wall tick advances it five simulated seconds alongside liveness
+	// and adaptive probing.
+	var feng *flowsim.Engine
+	if *flowsN > 0 {
+		feng, err = setupFlows(healthSim, env, fwd, env.Telemetry, *flowsN, *flowsRate, *flowsOffload)
+		if err != nil {
+			log.Fatalf("flows: %v", err)
+		}
+		log.Printf("flows: %d aggregate flows at %.0f pps across %d conference pairs (offload=%v)",
+			*flowsN, *flowsRate, len(conferencePairs), *flowsOffload)
+	}
+
+	adminSrv, adminAddr, err := startAdmin(*admin, env.Telemetry, tracer, fwd, env.Net, actl, feng)
 	if err != nil {
 		log.Fatalf("starting admin endpoint: %v", err)
 	}
 	defer adminSrv.Close()
-	log.Printf("admin endpoint on http://%s (/metrics /trace /adaptive /debug/pprof)", adminAddr)
+	log.Printf("admin endpoint on http://%s (/metrics /trace /adaptive /flows /debug/pprof)", adminAddr)
 
 	// Liveness and failover: BFD-lite sessions over every L2 link of the
 	// shared fabric, detected failures feeding the failover controller.
@@ -176,6 +193,9 @@ func main() {
 				st := actl.Status(healthSim.Now())
 				log.Printf("adaptive: overrides=%d suppressed=%d samples=%d paths=%d",
 					len(st.Overrides), len(st.Suppressed), st.Samples, st.Paths)
+			}
+			if feng != nil {
+				log.Printf("%s", flowsStatusLine(feng))
 			}
 		case <-stop:
 			log.Print("shutting down")

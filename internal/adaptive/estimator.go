@@ -112,6 +112,17 @@ func (p *PathEstimator) State() Snapshot {
 // a genuine path change wins within a few probe rounds.
 const DefaultHalfLifeSec = 2.0
 
+// NewPathEstimator returns a standalone path estimator with the given
+// half-life (0 means DefaultHalfLifeSec), for callers that track their
+// own paths outside the (PoP, prefix) registry — e.g. flowsim's
+// per-group overlay/direct delay comparison.
+func NewPathEstimator(halfLifeSec float64) *PathEstimator {
+	if halfLifeSec <= 0 {
+		halfLifeSec = DefaultHalfLifeSec
+	}
+	return &PathEstimator{invHalfLife: 1 / halfLifeSec}
+}
+
 // Estimator owns the per-path estimators. Path registration is the
 // cold path (taken once per tracked path); the returned handles carry
 // the hot path.

@@ -46,6 +46,7 @@ var Analyzer = &analysis.Analyzer{
 		"vns/internal/netsim",
 		"vns/internal/vns",
 		"vns/internal/fib",
+		"vns/internal/flowsim",
 		"vns/internal/health",
 		"vns/internal/experiments",
 		"vns/internal/scenario",

@@ -18,6 +18,7 @@ func TestScope(t *testing.T) {
 		"vns/internal/netsim":      true,
 		"vns/internal/vns":         true,
 		"vns/internal/fib":         true,
+		"vns/internal/flowsim":     true,
 		"vns/internal/health":      true,
 		"vns/internal/experiments": true,
 		"vns/internal/scenario":    true,

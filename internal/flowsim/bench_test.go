@@ -1,0 +1,126 @@
+package flowsim
+
+import (
+	"testing"
+
+	"vns/internal/loss"
+	"vns/internal/netsim"
+)
+
+// Hot-path budgets (PR-5/PR-6 budget pattern). The shard step is
+// charged per flow: emission + batch attribution are a few float/int
+// ops each, and the per-group link traversal amortizes to nothing
+// across thousands of flows. 150 ns/flow leaves a production 1M-flow
+// deployment at ~1.5 s of CPU per simulated 10Hz epoch sweep — and the
+// measured number is an order of magnitude under it.
+const budgetPerFlowNs = 150
+
+// benchShardFlows is the slab size the step benchmark runs over.
+const benchShardFlows = 10000
+
+// benchEngine builds one shard carrying benchShardFlows flows spread
+// over four multipath groups with loss and a queue-limited bottleneck —
+// the full hot path, nothing mocked.
+func benchEngine(b *testing.B) (*Engine, *shard) {
+	b.Helper()
+	sim := &netsim.Sim{}
+	e := New(Config{Sim: sim, Shards: 1, EpochSec: 0.1})
+	for gi := 0; gi < 4; gi++ {
+		la := netsim.NewLink("a", 20, 1000, loss.NewUniform(0.01, nil), nil)
+		la.QueueLimit = 100000
+		lb := netsim.NewLink("b", 25, 1000, nil, nil)
+		lb.QueueLimit = 100000
+		gid, err := e.AddGroup(GroupConfig{
+			Name: "g",
+			Paths: []PathSpec{
+				{Links: []*netsim.Link{la}, TailMs: 5, Weight: 0.6},
+				{Links: []*netsim.Link{lb}, TailMs: 5, Weight: 0.4},
+			},
+			DirectMs:     120,
+			MaxReorderMs: 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.AddFlows(gid, benchShardFlows/4, 42, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e, e.shards[0]
+}
+
+// BenchmarkShardStep measures one full shard epoch (emit, aggregate
+// transit, attribute) over benchShardFlows flows. Divide ns/op by
+// benchShardFlows for the per-flow cost the budget gates.
+func BenchmarkShardStep(b *testing.B) {
+	e, s := benchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.stepShard(s, float64(i+1)*0.1)
+	}
+}
+
+// BenchmarkControllerStep measures the per-epoch offload controller
+// sweep (sample ingest + decision for every group).
+func BenchmarkControllerStep(b *testing.B) {
+	sim := &netsim.Sim{}
+	e := New(Config{Sim: sim, Shards: 1, EpochSec: 0.1,
+		Offload: OffloadConfig{Enabled: true}})
+	for gi := 0; gi < 64; gi++ {
+		l := netsim.NewLink("l", 20, 0, nil, nil)
+		gid, err := e.AddGroup(GroupConfig{
+			Name:     "g",
+			Paths:    []PathSpec{{Links: []*netsim.Link{l}, TailMs: 5, Weight: 1}},
+			DirectMs: 100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.AddFlows(gid, 10, 42, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.controllerStep()
+	}
+}
+
+// TestBudgetTest enforces the aggregate hot-path budget in CI
+// (`go test -run BudgetTest ./internal/flowsim`): the shard step must
+// be allocation-free and under budgetPerFlowNs per flow. Skips under
+// -race and -short, where per-op cost reflects instrumentation, not
+// design.
+func TestBudgetTest(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments the hot path; budget not meaningful")
+	}
+	if testing.Short() {
+		t.Skip("skipping budget measurement in -short mode")
+	}
+
+	best, allocs := bestOfThree(BenchmarkShardStep)
+	perFlow := best / benchShardFlows
+	t.Logf("shard_step: %.0f ns/op, %.2f ns/flow, %d allocs/op (budget %d ns/flow)",
+		best, perFlow, allocs, budgetPerFlowNs)
+	if perFlow > budgetPerFlowNs {
+		t.Errorf("shard step costs %.2f ns/flow, over the %d ns/flow budget", perFlow, budgetPerFlowNs)
+	}
+	if allocs > 0 {
+		t.Errorf("shard step allocates %d times per op; the hot path must be allocation-free", allocs)
+	}
+}
+
+func bestOfThree(fn func(b *testing.B)) (nsPerOp float64, allocsPerOp int64) {
+	for i := 0; i < 3; i++ {
+		res := testing.Benchmark(fn)
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		if i == 0 || ns < nsPerOp {
+			nsPerOp = ns
+			allocsPerOp = res.AllocsPerOp()
+		}
+	}
+	return nsPerOp, allocsPerOp
+}

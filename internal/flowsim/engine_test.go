@@ -1,0 +1,335 @@
+package flowsim
+
+import (
+	"strings"
+	"testing"
+
+	"vns/internal/loss"
+	"vns/internal/netsim"
+)
+
+// testWorld builds a sim, an engine, and a two-path group over fresh
+// links.
+func testWorld(t *testing.T, cfg Config, gcfg GroupConfig) (*netsim.Sim, *Engine, int) {
+	t.Helper()
+	sim := &netsim.Sim{}
+	cfg.Sim = sim
+	e := New(cfg)
+	gid, err := e.AddGroup(gcfg)
+	if err != nil {
+		t.Fatalf("AddGroup: %v", err)
+	}
+	return sim, e, gid
+}
+
+func twoPathGroup(name string, lossA, lossB loss.Model) ([]*netsim.Link, GroupConfig) {
+	la := netsim.NewLink(name+"-a", 20, 0, lossA, nil)
+	lb := netsim.NewLink(name+"-b", 25, 0, lossB, nil)
+	g := GroupConfig{
+		Name: name,
+		Paths: []PathSpec{
+			{Name: "a", Links: []*netsim.Link{la}, TailMs: 5, Weight: 0.6},
+			{Name: "b", Links: []*netsim.Link{lb}, TailMs: 5, Weight: 0.4},
+		},
+		DirectMs:     80,
+		MaxReorderMs: 30,
+	}
+	return []*netsim.Link{la, lb}, g
+}
+
+func TestEngineConservationLossless(t *testing.T) {
+	_, gcfg := twoPathGroup("g", nil, nil)
+	sim, e, gid := testWorld(t, Config{Shards: 4, EpochSec: 0.1}, gcfg)
+	if err := e.AddFlows(gid, 100, 100, 0); err != nil {
+		t.Fatalf("AddFlows: %v", err)
+	}
+	e.Start()
+	sim.Run(10)
+	e.Stop()
+	sim.RunAll()
+
+	if err := e.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	tot := e.Totals()
+	// 100 flows x 100 pps x 10 s = 100k packets, all delivered: the
+	// fractional-carry emission must hit the analytic count exactly.
+	if tot.Scheduled != 100*100*10 {
+		t.Fatalf("scheduled %d, want exactly 100000", tot.Scheduled)
+	}
+	if tot.Delivered != tot.Scheduled {
+		t.Fatalf("lossless world dropped packets: %+v", tot)
+	}
+	// Both subpaths were used and the reorder buffer saw the 5ms skew.
+	if tot.ReorderDelivered == 0 || tot.ReorderWaitMsSum == 0 {
+		t.Fatalf("multipath reorder accounting empty: %+v", tot)
+	}
+	// Path a (25ms total) waits for path b (30ms): 60% of packets wait
+	// 5ms, so the mean wait is 3ms.
+	if w := tot.MeanReorderWaitMs(); w < 2.9 || w > 3.1 {
+		t.Fatalf("mean reorder wait %v, want ~3ms", w)
+	}
+}
+
+func TestEngineConservationUnderLoss(t *testing.T) {
+	_, gcfg := twoPathGroup("g", loss.NewUniform(0.05, nil), loss.NewUniform(0.02, nil))
+	sim, e, gid := testWorld(t, Config{Shards: 4, EpochSec: 0.1}, gcfg)
+	if err := e.AddFlows(gid, 50, 40, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	sim.Run(5)
+	e.Stop()
+	sim.RunAll()
+	if err := e.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	tot := e.Totals()
+	if tot.DropsLoss == 0 {
+		t.Fatalf("expected loss drops: %+v", tot)
+	}
+	// 60% of traffic at 5%, 40% at 2%: aggregate ~3.8%.
+	rate := float64(tot.DropsLoss) / float64(tot.Scheduled)
+	if rate < 0.03 || rate > 0.05 {
+		t.Fatalf("loss rate %v, want ~0.038", rate)
+	}
+}
+
+func TestEngineFlowLifetime(t *testing.T) {
+	_, gcfg := twoPathGroup("g", nil, nil)
+	sim, e, gid := testWorld(t, Config{Shards: 2, EpochSec: 0.1}, gcfg)
+	// 10 flows for exactly 2s, at 100pps: 2000 packets, then silence.
+	if err := e.AddFlows(gid, 10, 100, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	sim.Run(10)
+	e.Stop()
+	sim.RunAll()
+	if err := e.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if tot := e.Totals(); tot.Scheduled != 2000 {
+		t.Fatalf("bounded flows scheduled %d, want exactly 2000", tot.Scheduled)
+	}
+}
+
+func TestEngineLateDrops(t *testing.T) {
+	// Path b is skewed 50ms past path a with a 30ms reorder bound:
+	// everything on b delivers late and must be dropped as late.
+	la := netsim.NewLink("a", 20, 0, nil, nil)
+	lb := netsim.NewLink("b", 70, 0, nil, nil)
+	gcfg := GroupConfig{
+		Name: "skewed",
+		Paths: []PathSpec{
+			{Name: "a", Links: []*netsim.Link{la}, Weight: 0.5},
+			{Name: "b", Links: []*netsim.Link{lb}, Weight: 0.5},
+		},
+		MaxReorderMs: 30,
+	}
+	sim, e, gid := testWorld(t, Config{Shards: 2, EpochSec: 0.1}, gcfg)
+	if err := e.AddFlows(gid, 10, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	sim.Run(5)
+	e.Stop()
+	sim.RunAll()
+	if err := e.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	tot := e.Totals()
+	if tot.DropsLate == 0 {
+		t.Fatalf("expected late drops from the skewed path: %+v", tot)
+	}
+	// The split is 50/50, so late drops are half the traffic.
+	if frac := float64(tot.DropsLate) / float64(tot.Scheduled); frac < 0.45 || frac > 0.55 {
+		t.Fatalf("late fraction %v, want ~0.5", frac)
+	}
+	// Only one usable path remains: no reorder wait accrues on it.
+	if tot.MeanReorderWaitMs() != 0 {
+		t.Fatalf("single usable path should not wait: %+v", tot)
+	}
+}
+
+func TestEngineDuplicationRepair(t *testing.T) {
+	// Primary path loses 10%; duplicating half the batch on the (lossless)
+	// second path must repair about half the losses.
+	la := netsim.NewLink("a", 20, 0, loss.NewUniform(0.10, nil), nil)
+	lb := netsim.NewLink("b", 25, 0, nil, nil)
+	gcfg := GroupConfig{
+		Name: "dup",
+		Paths: []PathSpec{
+			{Name: "a", Links: []*netsim.Link{la}, Weight: 0.9999},
+			{Name: "b", Links: []*netsim.Link{lb}, Weight: 0.0001},
+		},
+		MaxReorderMs: 30,
+		DupFraction:  0.5,
+	}
+	sim, e, gid := testWorld(t, Config{Shards: 2, EpochSec: 0.1}, gcfg)
+	if err := e.AddFlows(gid, 20, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	sim.Run(10)
+	e.Stop()
+	sim.RunAll()
+	if err := e.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	tot := e.Totals()
+	if tot.DupSent == 0 || tot.Repaired == 0 || tot.DupDiscarded == 0 {
+		t.Fatalf("duplication accounting not exercised: %+v", tot)
+	}
+	// Repairs cover the duplicated half of the 10% losses: repaired
+	// should be roughly half of (losses before repair) = dropsLoss+repaired.
+	rawLoss := tot.DropsLoss + tot.Repaired
+	frac := float64(tot.Repaired) / float64(rawLoss)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("repair fraction %v, want ~0.5 (repaired=%d rawLoss=%d)", frac, tot.Repaired, rawLoss)
+	}
+	// Copies that didn't repair anything were discarded, not delivered
+	// twice: delivered never exceeds scheduled.
+	if tot.Delivered > tot.Scheduled {
+		t.Fatalf("duplication inflated delivery: %+v", tot)
+	}
+}
+
+func TestEngineAdminDownDrops(t *testing.T) {
+	links, gcfg := twoPathGroup("g", nil, nil)
+	sim, e, gid := testWorld(t, Config{Shards: 2, EpochSec: 0.1}, gcfg)
+	if err := e.AddFlows(gid, 10, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	sim.Schedule(2, func() { links[0].SetAdminDown(true); links[1].SetAdminDown(true) })
+	sim.Run(4)
+	e.Stop()
+	sim.RunAll()
+	if err := e.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if tot := e.Totals(); tot.DropsAdmin == 0 {
+		t.Fatalf("expected admin drops after links downed: %+v", tot)
+	}
+}
+
+func TestEngineQueueDrops(t *testing.T) {
+	// 1 Mbps bottleneck with a tight queue against ~2 Mbps offered load.
+	l := netsim.NewLink("thin", 10, 1, nil, nil)
+	l.QueueLimit = 50
+	gcfg := GroupConfig{
+		Name:  "congested",
+		Paths: []PathSpec{{Name: "only", Links: []*netsim.Link{l}, Weight: 1}},
+	}
+	sim, e, gid := testWorld(t, Config{Shards: 2, EpochSec: 0.1}, gcfg)
+	if err := e.AddFlows(gid, 2, 104, 0); err != nil { // 2*104*1200*8 = ~2.0 Mbps
+		t.Fatal(err)
+	}
+	e.Start()
+	sim.Run(5)
+	e.Stop()
+	sim.RunAll()
+	if err := e.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	tot := e.Totals()
+	if tot.DropsQueue == 0 {
+		t.Fatalf("expected queue drops at the bottleneck: %+v", tot)
+	}
+	// The link's own counters see the same traffic (per-link invariant).
+	st := l.Stats()
+	if st.DropsQueue != tot.DropsQueue {
+		t.Fatalf("link queue drops %d != engine queue drops %d", st.DropsQueue, tot.DropsQueue)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() Totals {
+		_, gcfg := twoPathGroup("g", loss.NewUniform(0.03, nil), nil)
+		sim := &netsim.Sim{}
+		e := New(Config{Sim: sim, Shards: 4, EpochSec: 0.1,
+			Offload: OffloadConfig{Enabled: true}})
+		gid, err := e.AddGroup(gcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddFlows(gid, 33, 77, 0); err != nil {
+			t.Fatal(err)
+		}
+		e.Start()
+		sim.Run(7)
+		e.Stop()
+		sim.RunAll()
+		return e.Totals()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic totals:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	sim := &netsim.Sim{}
+	e := New(Config{Sim: sim})
+	l := netsim.NewLink("l", 1, 0, nil, nil)
+	cases := []GroupConfig{
+		{Name: "no-paths-no-direct"},
+		{Name: "empty-path", Paths: []PathSpec{{Weight: 1}}},
+		{Name: "bad-weight", Paths: []PathSpec{{Links: []*netsim.Link{l}, Weight: 0}}},
+		{Name: "dup-one-path", Paths: []PathSpec{{Links: []*netsim.Link{l}, Weight: 1}}, DupFraction: 0.5},
+		{Name: "dup-range", Paths: []PathSpec{
+			{Links: []*netsim.Link{l}, Weight: 1}, {Links: []*netsim.Link{l}, Weight: 1}},
+			DupFraction: 1.5},
+	}
+	for _, c := range cases {
+		if _, err := e.AddGroup(c); err == nil {
+			t.Errorf("AddGroup(%s) unexpectedly succeeded", c.Name)
+		}
+	}
+	if err := e.AddFlows(99, 1, 1, 0); err == nil {
+		t.Error("AddFlows on missing group succeeded")
+	}
+	gid, err := e.AddGroup(GroupConfig{Name: "ok",
+		Paths: []PathSpec{{Links: []*netsim.Link{l}, Weight: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFlows(gid, 0, 100, 0); err == nil {
+		t.Error("AddFlows with zero count succeeded")
+	}
+	// Too many paths.
+	many := make([]PathSpec, MaxPaths+1)
+	for i := range many {
+		many[i] = PathSpec{Links: []*netsim.Link{l}, Weight: 1}
+	}
+	if _, err := e.AddGroup(GroupConfig{Name: "too-many", Paths: many}); err == nil {
+		t.Error("AddGroup with too many paths succeeded")
+	}
+}
+
+func TestEngineStatusAndPublished(t *testing.T) {
+	_, gcfg := twoPathGroup("status-group", nil, nil)
+	sim, e, gid := testWorld(t, Config{Shards: 2, EpochSec: 0.1}, gcfg)
+	if err := e.AddFlows(gid, 5, 50, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	sim.Run(3)
+	e.Stop()
+	sim.RunAll()
+
+	tot, groups := e.Published()
+	if tot.Flows != 5 || len(groups) != 1 || groups[0].Name != "status-group" {
+		t.Fatalf("published snapshot wrong: %+v %+v", tot, groups)
+	}
+	if groups[0].Delivered == 0 || groups[0].OverlayMs <= 0 {
+		t.Fatalf("group status not populated: %+v", groups[0])
+	}
+	text := strings.Join(StatusLines(tot, groups), "\n")
+	for _, want := range []string{"flows=5", "group status-group:", "mode=overlay", "reorder wait"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("status output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package flowsim
+
+import "vns/internal/telemetry"
+
+// Telemetry wiring. Families are registered only when Config.Telemetry
+// is non-nil, so deployments without flowsim (and scenario specs
+// without a flows block) keep their registries — and telemetry digests
+// — byte-identical. Counters are reconciled from the exact totals once
+// per controller epoch, keeping the shard hot path metric-free.
+type metricsSet struct {
+	flows          *telemetry.Gauge
+	offloadedFlows *telemetry.Gauge
+
+	scheduled    *telemetry.Counter
+	delivered    *telemetry.Counter
+	direct       *telemetry.Counter
+	dupSent      *telemetry.Counter
+	dupDiscarded *telemetry.Counter
+	repaired     *telemetry.Counter
+
+	dropsLoss  *telemetry.Counter
+	dropsQueue *telemetry.Counter
+	dropsAdmin *telemetry.Counter
+	dropsLate  *telemetry.Counter
+
+	transitions *telemetry.Counter
+	reorderWait *telemetry.Histogram
+
+	prev Totals
+}
+
+func newMetricsSet(reg *telemetry.Registry) *metricsSet {
+	drops := reg.CounterVec("flowsim_drops_total",
+		"Aggregate-flow packets dropped, by cause.", "cause")
+	m := &metricsSet{
+		flows: reg.Gauge("flowsim_flows",
+			"Flows registered with the aggregate engine."),
+		offloadedFlows: reg.Gauge("flowsim_offloaded_flows",
+			"Flows currently offloaded to the direct-Internet path."),
+		scheduled: reg.Counter("flowsim_scheduled_total",
+			"Aggregate-flow packets emitted."),
+		delivered: reg.Counter("flowsim_delivered_total",
+			"Aggregate-flow packets delivered (including repairs and direct)."),
+		direct: reg.Counter("flowsim_direct_delivered_total",
+			"Packets delivered over the direct-Internet path while offloaded."),
+		dupSent: reg.Counter("flowsim_dup_sent_total",
+			"Duplicate protection copies transmitted on the second path."),
+		dupDiscarded: reg.Counter("flowsim_dup_discarded_total",
+			"Duplicate copies discarded by the reorder buffer."),
+		repaired: reg.Counter("flowsim_repaired_total",
+			"Lost packets repaired by a surviving duplicate copy."),
+		dropsLoss:  drops.With("loss"),
+		dropsQueue: drops.With("queue"),
+		dropsAdmin: drops.With("admin"),
+		dropsLate:  drops.With("late"),
+		transitions: reg.Counter("flowsim_offload_transitions_total",
+			"Offload and reclaim transitions across all groups."),
+		reorderWait: reg.Histogram("flowsim_reorder_wait_ms",
+			"Mean multipath reorder-buffer wait per epoch (ms).",
+			[]float64{0.5, 1, 2, 5, 10, 20, 50, 100}),
+	}
+	// Everything here derives from the virtual clock, so the families
+	// stay snapshot-visible (not MarkVolatile): scenario goldens pin
+	// their values deterministically, exactly like adaptive's.
+	return m
+}
+
+// updateMetrics reconciles the registry to the exact totals.
+func (e *Engine) updateMetrics() {
+	if e.met == nil {
+		return
+	}
+	m := e.met
+	t := e.tot
+	m.flows.Set(float64(t.Flows))
+	m.offloadedFlows.Set(float64(t.OffloadedFlows))
+	m.scheduled.Add(t.Scheduled - m.prev.Scheduled)
+	m.delivered.Add(t.Delivered - m.prev.Delivered)
+	m.direct.Add(t.DirectDelivered - m.prev.DirectDelivered)
+	m.dupSent.Add(t.DupSent - m.prev.DupSent)
+	m.dupDiscarded.Add(t.DupDiscarded - m.prev.DupDiscarded)
+	m.repaired.Add(t.Repaired - m.prev.Repaired)
+	m.dropsLoss.Add(t.DropsLoss - m.prev.DropsLoss)
+	m.dropsQueue.Add(t.DropsQueue - m.prev.DropsQueue)
+	m.dropsAdmin.Add(t.DropsAdmin - m.prev.DropsAdmin)
+	m.dropsLate.Add(t.DropsLate - m.prev.DropsLate)
+	m.transitions.Add(t.OffloadTransitions - m.prev.OffloadTransitions)
+	if dd := t.ReorderDelivered - m.prev.ReorderDelivered; dd > 0 {
+		m.reorderWait.Observe((t.ReorderWaitMsSum - m.prev.ReorderWaitMsSum) / float64(dd))
+	}
+	m.prev = t
+}

@@ -1,0 +1,164 @@
+package flowsim
+
+import (
+	"testing"
+
+	"vns/internal/netsim"
+)
+
+// offloadWorld: one group whose overlay (60ms) comfortably beats direct
+// (100ms) until a delay spike lands on the overlay link.
+func offloadWorld(t *testing.T, cfg OffloadConfig) (*netsim.Sim, *Engine, *netsim.Link) {
+	t.Helper()
+	sim := &netsim.Sim{}
+	l := netsim.NewLink("overlay", 25, 0, nil, nil)
+	e := New(Config{Sim: sim, Shards: 2, EpochSec: 0.1, Offload: cfg})
+	gid, err := e.AddGroup(GroupConfig{
+		Name:     "g",
+		Paths:    []PathSpec{{Name: "p", Links: []*netsim.Link{l}, TailMs: 35, Weight: 1}},
+		DirectMs: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFlows(gid, 10, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	return sim, e, l
+}
+
+func TestOffloadAndReclaim(t *testing.T) {
+	sim, e, l := offloadWorld(t, OffloadConfig{Enabled: true, DwellSec: 1})
+	e.Start()
+
+	// Phase 1: overlay at 60ms vs direct 100ms — advantage 40ms, no
+	// offload.
+	sim.Run(5)
+	if g := e.Groups()[0]; g.Offloaded {
+		t.Fatalf("offloaded with a 40ms advantage: %+v", g)
+	}
+
+	// Phase 2: spike the overlay to 160ms — advantage -60ms, sustained
+	// past the dwell: the group must offload.
+	l.SetExtraDelayMs(100)
+	sim.Run(15)
+	g := e.Groups()[0]
+	if !g.Offloaded {
+		t.Fatalf("not offloaded after sustained spike: %+v", g)
+	}
+	if g.Transitions != 1 {
+		t.Fatalf("transitions %d, want 1", g.Transitions)
+	}
+	// Offloaded traffic is direct.
+	before := e.Totals().DirectDelivered
+	sim.Run(17)
+	if after := e.Totals().DirectDelivered; after <= before {
+		t.Fatal("offloaded group not delivering via direct path")
+	}
+
+	// Phase 3: clear the spike — the analytic probe sees 60ms again,
+	// advantage 40ms > reclaim threshold, sustained: reclaim.
+	l.SetExtraDelayMs(0)
+	sim.Run(35)
+	g = e.Groups()[0]
+	if g.Offloaded {
+		t.Fatalf("not reclaimed after spike cleared: %+v", g)
+	}
+	if g.Transitions != 2 {
+		t.Fatalf("transitions %d, want 2 (offload + reclaim)", g.Transitions)
+	}
+	if e.Totals().OffloadTransitions != 2 {
+		t.Fatalf("engine transitions %d, want 2", e.Totals().OffloadTransitions)
+	}
+
+	e.Stop()
+	sim.RunAll()
+	if err := e.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffloadHysteresisHoldsBorderline(t *testing.T) {
+	// Overlay delay sits between the two thresholds (advantage 5ms,
+	// with OffloadBelow=2 and ReclaimAbove=10): neither condition can
+	// fire, no matter how long we run — that's the hysteresis band.
+	sim := &netsim.Sim{}
+	l := netsim.NewLink("overlay", 25, 0, nil, nil)
+	e := New(Config{Sim: sim, Shards: 2, EpochSec: 0.1,
+		Offload: OffloadConfig{Enabled: true, DwellSec: 1}})
+	gid, err := e.AddGroup(GroupConfig{
+		Name:     "borderline",
+		Paths:    []PathSpec{{Links: []*netsim.Link{l}, TailMs: 70, Weight: 1}}, // 95ms
+		DirectMs: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFlows(gid, 5, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	sim.Run(60)
+	e.Stop()
+	sim.RunAll()
+	if g := e.Groups()[0]; g.Offloaded || g.Transitions != 0 {
+		t.Fatalf("borderline group transitioned: %+v", g)
+	}
+}
+
+func TestOffloadDwellDampsSpikes(t *testing.T) {
+	// A spike shorter than the dwell must not trigger an offload.
+	sim, e, l := offloadWorld(t, OffloadConfig{Enabled: true, DwellSec: 5})
+	e.Start()
+	sim.Run(5)
+	l.SetExtraDelayMs(100)
+	sim.Schedule(7, func() { l.SetExtraDelayMs(0) }) // 2s spike < 5s dwell
+	sim.Run(30)
+	e.Stop()
+	sim.RunAll()
+	if g := e.Groups()[0]; g.Offloaded || g.Transitions != 0 {
+		t.Fatalf("sub-dwell spike caused a transition: %+v", g)
+	}
+}
+
+func TestOffloadDisabledNeverTransitions(t *testing.T) {
+	sim, e, l := offloadWorld(t, OffloadConfig{Enabled: false})
+	e.Start()
+	l.SetExtraDelayMs(500)
+	sim.Run(30)
+	e.Stop()
+	sim.RunAll()
+	if g := e.Groups()[0]; g.Offloaded || g.Transitions != 0 {
+		t.Fatalf("disabled controller transitioned: %+v", g)
+	}
+}
+
+func TestDirectOnlyGroupStartsOffloaded(t *testing.T) {
+	sim := &netsim.Sim{}
+	e := New(Config{Sim: sim, Shards: 2, EpochSec: 0.1})
+	gid, err := e.AddGroup(GroupConfig{Name: "direct-only", DirectMs: 50, DirectLossRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFlows(gid, 4, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	sim.Run(5)
+	e.Stop()
+	sim.RunAll()
+	if err := e.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	tot := e.Totals()
+	if !e.Groups()[0].Offloaded || tot.DirectDelivered == 0 {
+		t.Fatalf("direct-only group not running direct: %+v", tot)
+	}
+	// 10% deterministic loss with carry: exactly 10% of scheduled.
+	if tot.DropsLoss*10 != tot.Scheduled {
+		t.Fatalf("direct loss %d of %d, want exactly 10%%", tot.DropsLoss, tot.Scheduled)
+	}
+	if tot.OffloadedFlows != 4 || tot.OffloadFraction() != 1 {
+		t.Fatalf("offload fraction wrong: %+v", tot)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package flowsim
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package flowsim
+
+// raceEnabled lets the budget test skip itself under -race: the race
+// detector's instrumentation overhead would make any ns/op ceiling
+// meaningless.
+const raceEnabled = true

@@ -1,0 +1,13 @@
+package media
+
+// AggregateProfile reduces a video definition to the fluid-flow shape
+// internal/flowsim carries: a steady packet rate at the MTU payload
+// size. Aggregate modeling deliberately drops the GOP burst structure —
+// at millions of flows only the mean rate and packet size survive
+// statistical multiplexing — while keeping the byte rate exactly equal
+// to the definition's nominal bitrate so capacity math agrees with the
+// per-packet trace generator.
+func AggregateProfile(d Definition) (pktPerSec float64, pktSize int) {
+	const mtuPayload = 1200 // matches TraceConfig's default packetization
+	return d.BitrateBps() / 8 / mtuPayload, mtuPayload
+}

@@ -1,0 +1,21 @@
+package media
+
+import "testing"
+
+func TestAggregateProfile(t *testing.T) {
+	for _, d := range []Definition{Def720p, Def1080p} {
+		pps, size := AggregateProfile(d)
+		if size != 1200 {
+			t.Fatalf("%v: pktSize %d, want 1200", d, size)
+		}
+		// Byte rate must round-trip to the nominal bitrate exactly.
+		if got := pps * float64(size) * 8; got != d.BitrateBps() {
+			t.Fatalf("%v: pps*size*8 = %v, want %v", d, got, d.BitrateBps())
+		}
+	}
+	pps720, _ := AggregateProfile(Def720p)
+	pps1080, _ := AggregateProfile(Def1080p)
+	if pps720 >= pps1080 {
+		t.Fatalf("720p rate %v should be below 1080p rate %v", pps720, pps1080)
+	}
+}

@@ -1,0 +1,170 @@
+package netsim
+
+import (
+	"testing"
+
+	"vns/internal/loss"
+)
+
+// sumAgg asserts the batch result partitions the offered count.
+func sumAgg(t *testing.T, r AggregateResult, offered uint64) {
+	t.Helper()
+	if got := r.Delivered + r.DropsLoss + r.DropsQueue + r.DropsAdmin; got != offered {
+		t.Fatalf("partition broken: delivered=%d loss=%d queue=%d admin=%d, offered=%d",
+			r.Delivered, r.DropsLoss, r.DropsQueue, r.DropsAdmin, offered)
+	}
+}
+
+func TestTransitAggregateLossless(t *testing.T) {
+	l := NewLink("a", 10, 0, nil, nil)
+	r := l.TransitAggregate(0, 1000, 1200)
+	sumAgg(t, r, 1000)
+	if r.Delivered != 1000 {
+		t.Fatalf("delivered %d, want 1000", r.Delivered)
+	}
+	if r.DelayMs != 10 {
+		t.Fatalf("delay %v, want 10 (pure propagation)", r.DelayMs)
+	}
+	st := l.Stats()
+	if st.TxPackets != 1000 || st.TxBytes != 1000*1200 || st.Drops != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTransitAggregateAdminDown(t *testing.T) {
+	l := NewLink("a", 10, 0, nil, nil)
+	l.SetAdminDown(true)
+	r := l.TransitAggregate(0, 500, 1200)
+	sumAgg(t, r, 500)
+	if r.DropsAdmin != 500 || r.Delivered != 0 {
+		t.Fatalf("admin-down batch: %+v", r)
+	}
+	st := l.Stats()
+	if st.Drops != 500 || st.DropsAdmin != 500 || st.TxPackets != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTransitAggregateLossCarry(t *testing.T) {
+	// 1% loss over batches of 10: each batch expects 0.1 losses, so the
+	// fractional carry must produce exactly 1 loss every 10 batches.
+	l := NewLink("a", 1, 0, loss.NewUniform(0.01, nil), nil)
+	var offered, lost uint64
+	for i := 0; i < 100; i++ {
+		r := l.TransitAggregate(Time(i)*0.01, 10, 1200)
+		sumAgg(t, r, 10)
+		offered += 10
+		lost += r.DropsLoss
+	}
+	if lost != 10 {
+		t.Fatalf("lost %d of %d, want exactly 10 (1%% with carry)", lost, offered)
+	}
+	st := l.Stats()
+	if st.Drops != lost || st.DropsLoss != lost {
+		t.Fatalf("stats %+v, want drops=%d", st, lost)
+	}
+}
+
+func TestTransitAggregateExtraDelay(t *testing.T) {
+	l := NewLink("a", 10, 0, nil, nil)
+	l.SetExtraDelayMs(25)
+	r := l.TransitAggregate(0, 10, 1200)
+	if r.DelayMs != 35 {
+		t.Fatalf("delay %v, want 35 (prop 10 + extra 25)", r.DelayMs)
+	}
+}
+
+func TestTransitAggregateQueueing(t *testing.T) {
+	// 10 Mbps link, 1200-byte packets: serialization is 0.96 ms/pkt.
+	l := NewLink("a", 1, 10, nil, nil)
+
+	// First batch on an empty queue: mean queueing delay is half the
+	// batch's own serialization time.
+	r := l.TransitAggregate(0, 10, 1200)
+	sumAgg(t, r, 10)
+	ser := 1200.0 * 8 / (10 * 1e6) * 1000 // ms per packet
+	want := 1 + 10*ser/2
+	if diff := r.DelayMs - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("first-batch delay %v, want %v", r.DelayMs, want)
+	}
+
+	// Second batch immediately after sees the first batch's backlog ahead
+	// of it.
+	r2 := l.TransitAggregate(0, 10, 1200)
+	want2 := 1 + 10*ser + 10*ser/2
+	if diff := r2.DelayMs - want2; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("second-batch delay %v, want %v", r2.DelayMs, want2)
+	}
+
+	// After enough simulated time the backlog fully drains.
+	r3 := l.TransitAggregate(1.0, 10, 1200)
+	if diff := r3.DelayMs - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("post-drain delay %v, want %v", r3.DelayMs, want)
+	}
+}
+
+func TestTransitAggregateQueueDrop(t *testing.T) {
+	// QueueLimit 50 packets: a 100-packet burst on an idle link accepts
+	// 50 and tail-drops the rest.
+	l := NewLink("a", 1, 10, nil, nil)
+	l.QueueLimit = 50
+	r := l.TransitAggregate(0, 100, 1200)
+	sumAgg(t, r, 100)
+	if r.Delivered != 50 || r.DropsQueue != 50 {
+		t.Fatalf("burst outcome %+v, want 50 delivered / 50 queue-dropped", r)
+	}
+	st := l.Stats()
+	if st.DropsQueue != 50 || st.Drops != 50 || st.TxPackets != 50 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Once drained, the same burst is accepted again up to the cap.
+	r2 := l.TransitAggregate(10, 100, 1200)
+	sumAgg(t, r2, 100)
+	if r2.Delivered != 50 {
+		t.Fatalf("post-drain burst delivered %d, want 50", r2.Delivered)
+	}
+}
+
+func TestTransitAggregateCausePartitionUnderAll(t *testing.T) {
+	// Loss + queue cap together: partition must still be exact and the
+	// lifetime counters must agree with the sum of batch results.
+	l := NewLink("a", 1, 10, loss.NewUniform(0.1, nil), nil)
+	l.QueueLimit = 20
+	var delivered, dLoss, dQueue uint64
+	for i := 0; i < 50; i++ {
+		r := l.TransitAggregate(Time(i)*0.001, 30, 1200)
+		sumAgg(t, r, 30)
+		delivered += r.Delivered
+		dLoss += r.DropsLoss
+		dQueue += r.DropsQueue
+	}
+	st := l.Stats()
+	if st.TxPackets != delivered || st.DropsLoss != dLoss || st.DropsQueue != dQueue {
+		t.Fatalf("lifetime stats %+v disagree with batch sums d=%d l=%d q=%d",
+			st, delivered, dLoss, dQueue)
+	}
+	if st.Drops != st.DropsLoss+st.DropsQueue+st.DropsAdmin {
+		t.Fatalf("drop partition broken: %+v", st)
+	}
+	if dLoss == 0 || dQueue == 0 {
+		t.Fatalf("test not exercising both causes: loss=%d queue=%d", dLoss, dQueue)
+	}
+}
+
+func TestTransitAggregateZeroBatch(t *testing.T) {
+	l := NewLink("a", 1, 10, loss.NewUniform(0.5, nil), nil)
+	r := l.TransitAggregate(0, 0, 1200)
+	if r != (AggregateResult{}) {
+		t.Fatalf("zero batch produced %+v", r)
+	}
+}
+
+func BenchmarkTransitAggregate(b *testing.B) {
+	l := NewLink("a", 10, 1000, loss.NewUniform(0.01, nil), nil)
+	l.QueueLimit = 10000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.TransitAggregate(Time(i)*1e-6, 100, 1200)
+	}
+}

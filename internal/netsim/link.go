@@ -46,6 +46,15 @@ type Link struct {
 	// offered to the link is dropped until the link is brought back up.
 	// Toggled by fault injection (internal/health.Injector).
 	adminDown bool
+
+	// Aggregate-transit (fluid) state, used only by TransitAggregate.
+	// aggLossCarry accumulates fractional expected losses so the
+	// deterministic aggregate loss converges to Loss.Rate over batches.
+	// aggBacklogBytes is the fluid queue occupancy, drained at line rate
+	// between batches; aggLastAt is the last drain time.
+	aggLossCarry    float64
+	aggBacklogBytes float64
+	aggLastAt       Time
 	// extraDelayMs is a transient delay spike added to every transit
 	// (cross-ocean reroutes, brownouts); 0 means none.
 	extraDelayMs float64

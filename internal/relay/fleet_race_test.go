@@ -1,0 +1,119 @@
+package relay
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFleetConcurrentHammer races the fleet's full public surface —
+// ServerFor resolutions, RequestCounts snapshots, PoPs listings, AddPoP
+// growth, and Close teardowns — from many goroutines at once, matching
+// the netsim stats hammer pattern. Under -race this catches any access
+// to the server map outside the fleet mutex; without -race it still
+// asserts the operations stay coherent (a resolved server is always one
+// of the fleet's, counts never cover unknown PoPs).
+func TestFleetConcurrentHammer(t *testing.T) {
+	pops := []string{"AMS", "LON", "NYC", "SJC"}
+	route := func(asn uint16) (string, bool) {
+		if asn == 0 {
+			return "", false
+		}
+		return pops[int(asn)%len(pops)], true
+	}
+	f := NewFleet(route)
+	for _, code := range pops {
+		if err := f.AddPoP(code, "127.0.0.1:0", nil); err != nil {
+			t.Fatalf("AddPoP(%s): %v", code, err)
+		}
+	}
+	defer f.Close()
+
+	known := make(map[string]bool, len(pops))
+	for _, c := range pops {
+		known[c] = true
+	}
+
+	const iters = 400
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	// Resolvers: hammer the anycast catchment lookup.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				asn := uint16(g*iters + i)
+				srv, ok := f.ServerFor(asn)
+				if asn == 0 {
+					if ok {
+						errs <- fmt.Errorf("ServerFor(0) resolved unexpectedly")
+						return
+					}
+					continue
+				}
+				// A hit must name a known PoP; a miss is legal while a
+				// concurrent Close has emptied the fleet.
+				if ok && !known[srv.PoP] {
+					errs <- fmt.Errorf("ServerFor(%d) returned unknown PoP %q", asn, srv.PoP)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Snapshotters: counts and listings must only ever cover known PoPs.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for code := range f.RequestCounts() {
+					if !known[code] {
+						errs <- fmt.Errorf("RequestCounts covers unknown PoP %q", code)
+						return
+					}
+				}
+				for _, code := range f.PoPs() {
+					if !known[code] {
+						errs <- fmt.Errorf("PoPs lists unknown PoP %q", code)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Churner: tear the fleet down and rebuild it while the others run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := f.Close(); err != nil {
+				errs <- fmt.Errorf("Close: %v", err)
+				return
+			}
+			for _, code := range pops {
+				if err := f.AddPoP(code, "127.0.0.1:0", nil); err != nil {
+					errs <- fmt.Errorf("re-AddPoP(%s): %v", code, err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Quiescent coherence: every PoP is back and duplicates still refuse.
+	if got := f.PoPs(); len(got) != len(pops) {
+		t.Fatalf("final fleet %v, want %d PoPs", got, len(pops))
+	}
+	if err := f.AddPoP("AMS", "127.0.0.1:0", nil); err == nil {
+		t.Fatal("duplicate AddPoP succeeded after hammer")
+	}
+}

@@ -1,0 +1,92 @@
+package relay
+
+import "sort"
+
+// Multipath planning: a conference flow entering the overlay at one PoP
+// can be split across several relay paths to the egress, with the
+// receiver reordering the subflows back into one stream ("Low-Latency
+// Video Conferencing via Optimized Packet Routing and Reordering"). The
+// planner here decides *which* paths are worth splitting over; the
+// aggregate engine (internal/flowsim) does the splitting, the per-path
+// transport, and the reorder-buffer accounting.
+
+// PathCandidate is one usable overlay route with its current delay
+// estimate.
+type PathCandidate struct {
+	// Name identifies the path in diagnostics (e.g. "LON>NYC>SJC").
+	Name string
+	// DelayMs is the estimated one-way or round-trip delay — any unit,
+	// as long as all candidates agree.
+	DelayMs float64
+}
+
+// PathChoice is one selected path with its traffic share.
+type PathChoice struct {
+	// Index points into the candidate slice passed to SelectPaths.
+	Index int
+	// Weight is the fraction of the flow assigned to this path; the
+	// weights of a selection sum to 1.
+	Weight float64
+}
+
+// SelectPaths picks up to k candidate paths for a multipath split and
+// assigns inverse-delay weights. Only candidates within maxSkewMs of the
+// fastest are eligible: a straggler path would force the receiver's
+// reorder buffer to hold every faster packet for the full skew, turning
+// the split into a delay penalty. With k <= 1, one candidate, or no
+// candidate within skew, the result is the single best path at weight 1.
+//
+// Selection is deterministic: candidates are ranked by (DelayMs, Name,
+// Index) so equal-delay ties cannot reorder between runs.
+func SelectPaths(cands []PathCandidate, k int, maxSkewMs float64) []PathChoice {
+	if len(cands) == 0 {
+		return nil
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := cands[order[a]], cands[order[b]]
+		if ca.DelayMs != cb.DelayMs {
+			return ca.DelayMs < cb.DelayMs
+		}
+		if ca.Name != cb.Name {
+			return ca.Name < cb.Name
+		}
+		return order[a] < order[b]
+	})
+	if k < 1 {
+		k = 1
+	}
+	best := cands[order[0]].DelayMs
+	picked := order[:1]
+	for _, idx := range order[1:] {
+		if len(picked) >= k {
+			break
+		}
+		if cands[idx].DelayMs-best > maxSkewMs {
+			break // sorted, so every later candidate is out of skew too
+		}
+		picked = append(picked, idx)
+	}
+
+	// Inverse-delay weights: a path twice as slow carries half the
+	// share. Non-positive delays are clamped so a zero-delay loopback
+	// candidate cannot absorb the whole flow.
+	out := make([]PathChoice, len(picked))
+	var total float64
+	for i, idx := range picked {
+		d := cands[idx].DelayMs
+		if d < 1e-3 {
+			d = 1e-3
+		}
+		w := 1 / d
+		out[i] = PathChoice{Index: idx, Weight: w}
+		total += w
+	}
+	for i := range out {
+		out[i].Weight /= total
+	}
+	return out
+}

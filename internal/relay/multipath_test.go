@@ -1,0 +1,72 @@
+package relay
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSelectPathsSingleBest(t *testing.T) {
+	cands := []PathCandidate{
+		{Name: "slow", DelayMs: 120},
+		{Name: "fast", DelayMs: 40},
+	}
+	got := SelectPaths(cands, 1, 100)
+	if len(got) != 1 || got[0].Index != 1 || got[0].Weight != 1 {
+		t.Fatalf("k=1 selection = %+v, want single fast path at weight 1", got)
+	}
+	// Out-of-skew straggler is excluded even with k=2.
+	got = SelectPaths(cands, 2, 50)
+	if len(got) != 1 || got[0].Index != 1 {
+		t.Fatalf("skew-capped selection = %+v, want fast path only", got)
+	}
+}
+
+func TestSelectPathsWeights(t *testing.T) {
+	cands := []PathCandidate{
+		{Name: "a", DelayMs: 50},
+		{Name: "b", DelayMs: 100},
+		{Name: "c", DelayMs: 75},
+	}
+	got := SelectPaths(cands, 3, 1000)
+	if len(got) != 3 {
+		t.Fatalf("selection %+v, want all three", got)
+	}
+	if got[0].Index != 0 || got[1].Index != 2 || got[2].Index != 1 {
+		t.Fatalf("order %+v, want by ascending delay 0,2,1", got)
+	}
+	var sum float64
+	for _, c := range got {
+		sum += c.Weight
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+	// Inverse-delay: path a (50ms) carries twice path b's (100ms) share.
+	if math.Abs(got[0].Weight/got[2].Weight-2) > 1e-9 {
+		t.Fatalf("weight ratio %v, want 2", got[0].Weight/got[2].Weight)
+	}
+}
+
+func TestSelectPathsDeterministicTies(t *testing.T) {
+	cands := []PathCandidate{
+		{Name: "z", DelayMs: 50},
+		{Name: "a", DelayMs: 50},
+	}
+	for i := 0; i < 10; i++ {
+		got := SelectPaths(cands, 2, 10)
+		if got[0].Index != 1 || got[1].Index != 0 {
+			t.Fatalf("tie-break run %d: %+v, want name order a,z", i, got)
+		}
+	}
+}
+
+func TestSelectPathsEdgeCases(t *testing.T) {
+	if got := SelectPaths(nil, 2, 10); got != nil {
+		t.Fatalf("nil candidates produced %+v", got)
+	}
+	// k<1 clamps to single best; zero-delay candidate doesn't divide by 0.
+	got := SelectPaths([]PathCandidate{{Name: "x", DelayMs: 0}}, 0, 10)
+	if len(got) != 1 || got[0].Weight != 1 {
+		t.Fatalf("degenerate selection %+v", got)
+	}
+}

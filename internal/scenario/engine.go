@@ -9,6 +9,7 @@ import (
 	"vns/internal/adaptive"
 	"vns/internal/experiments"
 	"vns/internal/fib"
+	"vns/internal/flowsim"
 	"vns/internal/health"
 	"vns/internal/media"
 	"vns/internal/netsim"
@@ -104,6 +105,12 @@ type engine struct {
 	probeBias  map[adaptive.Key]float64
 	geoBestPoP map[netip.Prefix]int
 
+	// Aggregate-flow state (spec.Flows != nil): the flowsim engine rides
+	// the same virtual clock and shared fabric links; aggSeq numbers the
+	// groups agg-flows events create.
+	flowEng *flowsim.Engine
+	aggSeq  int
+
 	flows []*flow
 	// prevLink holds the last checkpoint's per-link counters for the
 	// monotonicity half of the conservation invariant, keyed by link
@@ -170,6 +177,9 @@ func newEngine(spec *Spec) (*engine, error) {
 		if err := e.setupAdaptive(); err != nil {
 			return nil, fmt.Errorf("scenario %s: adaptive: %w", spec.Name, err)
 		}
+	}
+	if spec.Flows != nil {
+		e.setupFlows()
 	}
 	return e, nil
 }
@@ -251,6 +261,9 @@ func (e *engine) run() (*Result, error) {
 	if e.adaptive != nil {
 		e.adaptive.Start()
 	}
+	if e.flowEng != nil {
+		e.flowEng.Start()
+	}
 	e.sim.Run(warmupCheckpointSec)
 	if err := e.checkpoint(0, "init", warmupCheckpointSec, false); err != nil {
 		res.Trace = e.trace.String()
@@ -270,6 +283,11 @@ func (e *engine) run() (*Result, error) {
 			// later checkpoints and are settled by the final one.
 			fmt.Fprintf(&e.trace, "t=%.3f flow %s ingress=%s dst=%s dur=%.1fs\n",
 				ev.At, ev.Prefix, ev.PoP, e.selectors[ev.Prefix], ev.DurSec)
+			continue
+		}
+		if ev.Op == OpAggFlows {
+			// Same deal for aggregate flows; applyAggFlows wrote the
+			// trace line (it knows the selected path set).
 			continue
 		}
 		cp++
@@ -292,6 +310,11 @@ func (e *engine) run() (*Result, error) {
 		// Stop before the final drain: the probe loop reschedules itself
 		// until stopped, and conservation requires an empty event queue.
 		e.adaptive.Stop()
+	}
+	if e.flowEng != nil {
+		// Same: halt the epoch queues (flushing the last partial epoch)
+		// so RunAll can drain to zero pending events.
+		e.flowEng.Stop()
 	}
 	e.sim.RunAll()
 	e.fwd.Flush()
@@ -433,6 +456,8 @@ func (e *engine) apply(ev *Event) error {
 		}
 	case OpMediaFlow:
 		return e.startFlow(ev)
+	case OpAggFlows:
+		return e.applyAggFlows(ev)
 	case OpProbeBias:
 		return e.applyProbeBias(ev)
 	case OpProbeOscillate:

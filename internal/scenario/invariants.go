@@ -133,6 +133,26 @@ func (e *engine) checkpoint(cp int, label string, at float64, final bool) error 
 				fl.name, fl.scheduled, fl.delivered, fl.dropped, fl.noroute)
 		}
 	}
+	if e.flowEng != nil {
+		ft := e.flowEng.Totals()
+		fmt.Fprintf(&e.trace, "  agg-flows flows=%d offloaded=%d sched=%d delivered=%d direct=%d loss=%d queue=%d admin=%d late=%d\n",
+			ft.Flows, ft.OffloadedFlows, ft.Scheduled, ft.Delivered, ft.DirectDelivered,
+			ft.DropsLoss, ft.DropsQueue, ft.DropsAdmin, ft.DropsLate)
+		if final {
+			fmt.Fprintf(&e.trace, "  agg-reorder wait=%.3fms pkts=%d dup sent=%d repaired=%d discarded=%d transitions=%d\n",
+				ft.MeanReorderWaitMs(), ft.ReorderDelivered,
+				ft.DupSent, ft.Repaired, ft.DupDiscarded, ft.OffloadTransitions)
+			for _, g := range e.flowEng.Groups() {
+				mode := "overlay"
+				if g.Offloaded {
+					mode = "direct"
+				}
+				fmt.Fprintf(&e.trace, "  agg-group %s flows=%d paths=%d mode=%s overlay=%.1fms direct=%.1fms delivered=%d/%d transitions=%d\n",
+					g.Name, g.Flows, g.Paths, mode, g.OverlayMs, g.DirectMs,
+					g.Delivered, g.Scheduled, g.Transitions)
+			}
+		}
+	}
 
 	// Telemetry pin: every checkpoint carries a digest of the
 	// deterministic exposition snapshot (volatile wall-clock families
@@ -530,6 +550,17 @@ func (e *engine) checkConservation(final bool) (agg linkAgg, err error) {
 			if fl.scheduled != fl.delivered+fl.dropped+fl.noroute {
 				return agg, fmt.Errorf("flow %s: %d scheduled but %d delivered + %d dropped + %d norouted",
 					fl.name, fl.scheduled, fl.delivered, fl.dropped, fl.noroute)
+			}
+		}
+		if e.flowEng != nil {
+			// Aggregate flows hold the same bar per flow: every emitted
+			// packet delivered or attributed to exactly one drop cause,
+			// with engine totals matching the per-flow sums.
+			if err := e.flowEng.CheckConservation(); err != nil {
+				return agg, err
+			}
+			if e.flowEng.FlowCount() > 0 && e.flowEng.Totals().Scheduled == 0 {
+				return agg, fmt.Errorf("aggregate flows scheduled no packets")
 			}
 		}
 		if n := e.sim.Pending(); n != 0 {

@@ -78,7 +78,7 @@ func TestScenarioSeedSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seed sweep is not for -short")
 	}
-	for _, name := range []string{"churn", "churn-failover", "adaptive-geo-wrong", "adaptive-flap-damp"} {
+	for _, name := range []string{"churn", "churn-failover", "adaptive-geo-wrong", "adaptive-flap-damp", "flows-multipath-offload"} {
 		spec, err := Load(name)
 		if err != nil {
 			t.Fatal(err)
@@ -113,6 +113,13 @@ func TestSpecValidation(t *testing.T) {
 		`{"name":"x","adaptive":{},"events":[{"at":1,"op":"probe-oscillate","pop":"geo","prefix":"#0","periodSec":2,"cycles":3}]}`, // no extraMs
 		`{"name":"x","adaptive":{},"events":[{"at":1,"op":"probe-bias","prefix":"#0","extraMs":50}]}`,         // no pop
 		`{"name":"x","adaptive":{},"events":[{"at":1,"op":"checkpoint","pop":"LON"}]}`,                        // checkpoint takes no operands
+		`{"name":"x","events":[{"at":1,"op":"checkpoint"}]}`,                                                 // checkpoint with neither adaptive nor flows
+		`{"name":"x","events":[{"at":1,"op":"agg-flows","link":"LON-AMS","count":10,"ratePps":50,"durSec":5}]}`,    // agg-flows, no flows block
+		`{"name":"x","flows":{},"events":[{"at":1,"op":"agg-flows","link":"LONAMS","count":10,"ratePps":50,"durSec":5}]}`, // malformed link
+		`{"name":"x","flows":{},"events":[{"at":1,"op":"agg-flows","link":"LON-AMS","ratePps":50,"durSec":5}]}`,    // no count
+		`{"name":"x","flows":{},"events":[{"at":1,"op":"agg-flows","link":"LON-AMS","count":10,"durSec":5}]}`,      // no rate
+		`{"name":"x","flows":{"dupFraction":1.5},"events":[]}`,                                               // dupFraction outside [0,1]
+		`{"name":"x","flows":{"maxSkewMs":-1},"events":[]}`,                                                  // negative skew gate
 	}
 	for i, in := range bad {
 		if _, err := ParseSpec([]byte(in)); err == nil {
@@ -133,5 +140,11 @@ func TestSpecValidation(t *testing.T) {
 		{"at":13,"op":"probe-bias","pop":"geo","prefix":"#0","extraMs":0}]}`
 	if _, err := ParseSpec([]byte(okAdaptive)); err != nil {
 		t.Errorf("good adaptive spec rejected: %v", err)
+	}
+	okFlows := `{"name":"x","flows":{"maxPaths":2,"maxSkewMs":5,"offload":true,"dwellSec":2},"events":[
+		{"at":1,"op":"agg-flows","link":"LON-AMS","count":50,"ratePps":25,"durSec":10,"directMs":60},
+		{"at":1,"op":"checkpoint"}]}`
+	if _, err := ParseSpec([]byte(okFlows)); err != nil {
+		t.Errorf("good flows spec rejected: %v", err)
 	}
 }

@@ -48,6 +48,14 @@ type Spec struct {
 	// congruence invariant treats those overrides as sanctioned
 	// divergence, and checkpoints report the override set.
 	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
+	// Flows, when present, runs the aggregate flow engine
+	// (internal/flowsim) over the scenario's shared fabric: agg-flows
+	// events launch flow populations whose overlay paths are selected
+	// from the L2 topology, optionally split multipath and offloaded to
+	// their direct-Internet alternative. The conservation invariant then
+	// also accounts for every aggregate packet, and checkpoints report
+	// the engine's totals.
+	Flows *FlowsSpec `json:"flows,omitempty"`
 }
 
 // AdaptiveSpec configures the scenario's adaptive controller. Zero
@@ -100,6 +108,58 @@ func (a *AdaptiveSpec) validate() error {
 	return nil
 }
 
+// FlowsSpec configures the scenario's aggregate flow engine. Zero
+// fields take the internal/flowsim defaults.
+type FlowsSpec struct {
+	// EpochSec is the aggregation interval; Shards the number of
+	// staggered epoch queues.
+	EpochSec float64 `json:"epochSec,omitempty"`
+	Shards   int     `json:"shards,omitempty"`
+	// MaxPaths caps the multipath fan-out per group (default 2, hard cap
+	// flowsim.MaxPaths); MaxSkewMs is the path-selection skew gate
+	// (default 30): candidate overlay paths slower than the fastest by
+	// more than this are not used at all.
+	MaxPaths  int     `json:"maxPaths,omitempty"`
+	MaxSkewMs float64 `json:"maxSkewMs,omitempty"`
+	// MaxReorderMs bounds each group's receiver reorder buffer (0 = no
+	// bound); DupFraction duplicates that fraction of traffic on the two
+	// fastest paths for loss repair (ignored for single-path groups).
+	MaxReorderMs float64 `json:"maxReorderMs,omitempty"`
+	DupFraction  float64 `json:"dupFraction,omitempty"`
+	// TailMs is the fixed per-path tail for the legs the fabric doesn't
+	// model (client access, external egress leg), making overlay totals
+	// comparable with the events' directMs.
+	TailMs float64 `json:"tailMs,omitempty"`
+	// Offload enables the overlay/direct offload controller; the rest
+	// tune its hysteresis (flowsim defaults when zero).
+	Offload        bool    `json:"offload,omitempty"`
+	OffloadBelowMs float64 `json:"offloadBelowMs,omitempty"`
+	ReclaimAboveMs float64 `json:"reclaimAboveMs,omitempty"`
+	DwellSec       float64 `json:"dwellSec,omitempty"`
+	MinSamples     uint64  `json:"minSamples,omitempty"`
+	HalfLifeSec    float64 `json:"halfLifeSec,omitempty"`
+}
+
+func (f *FlowsSpec) validate() error {
+	for name, v := range map[string]float64{
+		"epochSec": f.EpochSec, "maxSkewMs": f.MaxSkewMs,
+		"maxReorderMs": f.MaxReorderMs, "tailMs": f.TailMs,
+		"offloadBelowMs": f.OffloadBelowMs, "reclaimAboveMs": f.ReclaimAboveMs,
+		"dwellSec": f.DwellSec, "halfLifeSec": f.HalfLifeSec,
+	} {
+		if v < 0 {
+			return fmt.Errorf("flows: negative %s", name)
+		}
+	}
+	if f.Shards < 0 || f.MaxPaths < 0 {
+		return fmt.Errorf("flows: negative shards/maxPaths")
+	}
+	if f.DupFraction < 0 || f.DupFraction > 1 {
+		return fmt.Errorf("flows: dupFraction %v outside [0,1]", f.DupFraction)
+	}
+	return nil
+}
+
 // Event is one scripted action on the timeline. Which fields matter
 // depends on Op; Validate rejects malformed combinations.
 type Event struct {
@@ -131,6 +191,11 @@ type Event struct {
 	// half a period later).
 	PeriodSec float64 `json:"periodSec,omitempty"`
 	Cycles    int     `json:"cycles,omitempty"`
+	// RatePps is each aggregate flow's packet rate and DirectMs the
+	// population's direct-Internet delay alternative (0 = none), both
+	// for agg-flows.
+	RatePps  float64 `json:"ratePps,omitempty"`
+	DirectMs float64 `json:"directMs,omitempty"`
 	// SettleSec overrides the quiesce window before this event's
 	// checkpoint; 0 means the default (past detection plus up-hold).
 	SettleSec float64 `json:"settleSec,omitempty"`
@@ -158,11 +223,19 @@ const (
 	// or "geo" for the prefix's geographically predicted egress; ExtraMs
 	// 0 clears the bias. probe-oscillate toggles the bias on for half of
 	// each period, off for the other half, Cycles times — the flap-
-	// damping workload. checkpoint observes state without acting, so
-	// convergence under a probe budget can be watched mid-run.
+	// damping workload. checkpoint observes state without acting (needs
+	// "adaptive" or "flows"), so background-controller convergence can
+	// be watched mid-run.
 	OpProbeBias      = "probe-bias"
 	OpProbeOscillate = "probe-oscillate"
 	OpCheckpoint     = "checkpoint"
+	// agg-flows (the spec must set "flows") launches Count aggregate
+	// flows of RatePps each from Link's first PoP to its second for
+	// DurSec, over overlay paths selected from the fabric, with DirectMs
+	// as the direct-Internet alternative. Like media-flow it is traffic,
+	// not a control event: it runs across later checkpoints and is
+	// settled by the final one.
+	OpAggFlows = "agg-flows"
 )
 
 // defaultSettleSec is the quiesce window between an event and its
@@ -206,14 +279,29 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
 	}
+	if s.Flows != nil {
+		if err := s.Flows.validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
 	// The first event may not fire before the warmup checkpoint.
 	prev := warmupCheckpointSec
 	for i := range s.Events {
 		ev := &s.Events[i]
 		switch ev.Op {
-		case OpProbeBias, OpProbeOscillate, OpCheckpoint:
+		case OpProbeBias, OpProbeOscillate:
 			if s.Adaptive == nil {
 				return fmt.Errorf("scenario %s: event %d: op %s needs \"adaptive\" set", s.Name, i, ev.Op)
+			}
+		case OpCheckpoint:
+			// Pure observation: meaningful whenever a background
+			// controller (adaptive or flows) evolves between events.
+			if s.Adaptive == nil && s.Flows == nil {
+				return fmt.Errorf("scenario %s: event %d: op %s needs \"adaptive\" or \"flows\" set", s.Name, i, ev.Op)
+			}
+		case OpAggFlows:
+			if s.Flows == nil {
+				return fmt.Errorf("scenario %s: event %d: op %s needs \"flows\" set", s.Name, i, ev.Op)
 			}
 		}
 		if ev.At < prev {
@@ -223,9 +311,10 @@ func (s *Spec) Validate() error {
 		if err := ev.validate(); err != nil {
 			return fmt.Errorf("scenario %s: event %d: %w", s.Name, i, err)
 		}
-		// Media flows run concurrently with later events by design;
-		// everything else must quiesce before the next event fires.
-		if ev.Op != OpMediaFlow {
+		// Flows (per-packet media and aggregate) run concurrently with
+		// later events by design; everything else must quiesce before
+		// the next event fires.
+		if ev.Op != OpMediaFlow && ev.Op != OpAggFlows {
 			prev = ev.checkpointAt()
 		}
 	}
@@ -280,6 +369,14 @@ func (ev *Event) validate() error {
 		if ev.PoP == "" || ev.Prefix == "" || ev.DurSec <= 0 {
 			return fmt.Errorf("media-flow needs pop (ingress), prefix and durSec > 0")
 		}
+	case OpAggFlows:
+		if ev.Count <= 0 || ev.RatePps <= 0 || ev.DurSec <= 0 {
+			return fmt.Errorf("agg-flows needs count > 0, ratePps > 0 and durSec > 0")
+		}
+		if ev.DirectMs < 0 {
+			return fmt.Errorf("agg-flows needs directMs >= 0")
+		}
+		return needLink()
 	case OpProbeBias:
 		if ev.PoP == "" || ev.Prefix == "" {
 			return fmt.Errorf("probe-bias needs pop (code or \"geo\") and prefix")
@@ -293,7 +390,7 @@ func (ev *Event) validate() error {
 		// A pure observation point: any operand is a spec mistake.
 		if ev.PoP != "" || ev.Prefix != "" || ev.Link != "" || ev.Router != "" ||
 			ev.ExtraMs != 0 || ev.PeriodSec != 0 || ev.Cycles != 0 ||
-			ev.DurSec != 0 || ev.Count != 0 {
+			ev.DurSec != 0 || ev.Count != 0 || ev.RatePps != 0 || ev.DirectMs != 0 {
 			return fmt.Errorf("checkpoint takes no operands")
 		}
 	default:
@@ -312,7 +409,7 @@ func (s *Spec) end() float64 {
 		if cp := ev.checkpointAt(); cp > end {
 			end = cp
 		}
-		if ev.Op == OpMediaFlow {
+		if ev.Op == OpMediaFlow || ev.Op == OpAggFlows {
 			if fin := ev.At + ev.DurSec + 2.0; fin > end {
 				end = fin
 			}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Benchmark snapshot runner (ROADMAP item 5): run the canonical
+# benchmark set and write a schema-stable BENCH_<date>.json so the perf
+# trajectory is recorded in-tree, PR over PR. The benchmark list is
+# fixed here — adding a bench is a deliberate schema change — and the
+# output orders entries by that list, so snapshots diff cleanly.
+#
+#   scripts/bench_snapshot.sh                # writes BENCH_$(date +%F).json
+#   scripts/bench_snapshot.sh /tmp/out.json  # explicit output path
+#   BENCH_DATE=2026-08-08 scripts/bench_snapshot.sh
+#
+# Compare two snapshots with e.g.
+#   join <(jq -r '.benchmarks[]|"\(.package)/\(.name) \(.ns_per_op)"' old) \
+#        <(jq -r '.benchmarks[]|"\(.package)/\(.name) \(.ns_per_op)"' new)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+date_tag=${BENCH_DATE:-$(date +%Y-%m-%d)}
+out=${1:-BENCH_${date_tag}.json}
+benchtime=${BENCH_TIME:-1s}
+
+# The canonical set: the flowsim hot paths, the aggregate link transit
+# they ride on, FIB lookup/compile, adaptive measurement ingest, and
+# the telemetry counter fast path.
+benches=(
+  "./internal/flowsim BenchmarkShardStep"
+  "./internal/flowsim BenchmarkControllerStep"
+  "./internal/netsim BenchmarkTransitAggregate"
+  "./internal/fib BenchmarkFIBLookup"
+  "./internal/fib BenchmarkFIBRecompile"
+  "./internal/adaptive BenchmarkAdaptiveIngest"
+  "./internal/telemetry BenchmarkCounterAdd"
+)
+
+goversion=$(go env GOVERSION)
+
+{
+  printf '{\n'
+  printf '  "schema": 1,\n'
+  printf '  "date": "%s",\n' "$date_tag"
+  printf '  "go": "%s",\n' "$goversion"
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "benchmarks": [\n'
+  first=1
+  for entry in "${benches[@]}"; do
+    pkg=${entry% *}
+    name=${entry#* }
+    echo "running $pkg $name..." >&2
+    line=$(go test -run '^$' -bench "^${name}\$" -benchmem -benchtime "$benchtime" -count=1 "$pkg" |
+      awk -v n="$name" '$1 ~ "^"n"(-[0-9]+)?$" {print; exit}')
+    if [ -z "$line" ]; then
+      echo "bench_snapshot: no result for $name in $pkg" >&2
+      exit 1
+    fi
+    ns=$(awk '{for(i=1;i<=NF;i++) if($(i+1)=="ns/op"){print $i; exit}}' <<<"$line")
+    bytes=$(awk '{for(i=1;i<=NF;i++) if($(i+1)=="B/op"){print $i; exit}}' <<<"$line")
+    allocs=$(awk '{for(i=1;i<=NF;i++) if($(i+1)=="allocs/op"){print $i; exit}}' <<<"$line")
+    [ "$first" -eq 1 ] || printf ',\n'
+    first=0
+    printf '    {"package": "vns%s", "name": "%s", "ns_per_op": %s, "bytes_per_op": %s, "allocs_per_op": %s}' \
+      "${pkg#.}" "$name" "$ns" "${bytes:-0}" "${allocs:-0}"
+  done
+  printf '\n  ]\n}\n'
+} >"$out"
+
+echo "wrote $out" >&2
