@@ -1,8 +1,10 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -137,16 +139,25 @@ func renderAdaptive(actl *adaptive.Controller, withPaths bool) string {
 }
 
 // startAdmin serves the admin mux on addr and returns the server (shut
-// down by the caller) and the bound listener address.
-func startAdmin(addr string, reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network, actl *adaptive.Controller, feng *flowsim.Engine) (*http.Server, string, error) {
+// down by the caller), the bound listener address, and a channel closed
+// when the serve goroutine has fully exited — the join handle that
+// makes shutdown deterministic instead of racing process exit against
+// an orphaned accept loop.
+func startAdmin(addr string, reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forwarding, network *vns.Network, actl *adaptive.Controller, feng *flowsim.Engine) (*http.Server, string, <-chan struct{}, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	srv := &http.Server{
 		Handler:           newAdminMux(reg, tr, fwd, network, actl, feng),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	go srv.Serve(ln)
-	return srv, ln.Addr().String(), nil
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("admin endpoint: %v", err)
+		}
+	}()
+	return srv, ln.Addr().String(), done, nil
 }

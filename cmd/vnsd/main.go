@@ -126,11 +126,14 @@ func main() {
 			*flowsN, *flowsRate, len(conferencePairs), *flowsOffload)
 	}
 
-	adminSrv, adminAddr, err := startAdmin(*admin, env.Telemetry, tracer, fwd, env.Net, actl, feng)
+	adminSrv, adminAddr, adminDone, err := startAdmin(*admin, env.Telemetry, tracer, fwd, env.Net, actl, feng)
 	if err != nil {
 		log.Fatalf("starting admin endpoint: %v", err)
 	}
-	defer adminSrv.Close()
+	defer func() {
+		adminSrv.Close()
+		<-adminDone // join the serve goroutine before exiting
+	}()
 	log.Printf("admin endpoint on http://%s (/metrics /trace /adaptive /flows /debug/pprof)", adminAddr)
 
 	// Liveness and failover: BFD-lite sessions over every L2 link of the
@@ -155,8 +158,10 @@ func main() {
 		log.Printf("fault demo: %s-%s down at t=%v for %v", a.Code, b.Code, *failAt, *failFor)
 	}
 
+	egressDone := make(chan struct{})
 	if *egress {
 		go func() {
+			defer close(egressDone)
 			if err := w.ConnectEgresses(*maxPrefixes); err != nil {
 				log.Printf("egress routers: %v", err)
 				return
@@ -167,7 +172,10 @@ func main() {
 			}
 			log.Printf("egress routers connected: %d announcements sent", total)
 		}()
+	} else {
+		close(egressDone)
 	}
+	defer func() { <-egressDone }() // join the connector before exiting
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

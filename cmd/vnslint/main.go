@@ -1,5 +1,5 @@
 // Command vnslint is the VNS static-analysis multichecker: it runs the
-// six domain-specific analyzers in internal/analysis over the
+// nine domain-specific analyzers in internal/analysis over the
 // packages matched by its arguments and exits nonzero on any finding.
 //
 //	go run ./cmd/vnslint ./...
@@ -14,21 +14,35 @@
 //	                                            (//vnslint:lockheld)
 //	wirebounds    codec slice accesses dominated by a len() guard
 //	                                            (//vnslint:bounds)
-//	errdrop       no discarded conn/writer errors in session/mgmt
-//	              paths                         (//vnslint:errok)
+//	errdrop       no discarded conn/writer errors in session, mgmt,
+//	              telemetry or admin paths      (//vnslint:errok)
 //	metricname    snake_case subsystem-prefixed names and labels at
 //	              telemetry registration sites  (//vnslint:metricname)
+//	hotalloc      //vnslint:hotpath functions (and their transitive
+//	              callees, via cross-package facts) allocation-free
+//	                                            (//vnslint:hotalloc)
+//	maprange      map iteration in determinism-critical packages via
+//	              sorted keys or order-free idioms
+//	                                            (//vnslint:maprange)
+//	goroutine     go statements in long-lived packages need provable
+//	              shutdown paths                (//vnslint:goleak)
+//
+// hotalloc and goroutine are whole-program: they compute per-function
+// summary facts over every analyzed package in dependency order, so a
+// hot function in flowsim is checked through the netsim code it calls.
 //
 // Flags:
 //
 //	-only name[,name]   run only the named analyzers
 //	-list               print the analyzers and exit
+//	-json               emit findings as a JSON array on stdout
 //
 // vnslint must run from inside the module: it resolves imports from
 // source via the go command.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,7 +51,10 @@ import (
 	"vns/internal/analysis"
 	"vns/internal/analysis/atomicpub"
 	"vns/internal/analysis/errdrop"
+	"vns/internal/analysis/goroutine"
+	"vns/internal/analysis/hotalloc"
 	"vns/internal/analysis/lockcallback"
+	"vns/internal/analysis/maprange"
 	"vns/internal/analysis/metricname"
 	"vns/internal/analysis/simclock"
 	"vns/internal/analysis/wirebounds"
@@ -50,11 +67,25 @@ var all = []*analysis.Analyzer{
 	wirebounds.Analyzer,
 	errdrop.Analyzer,
 	metricname.Analyzer,
+	hotalloc.Analyzer,
+	maprange.Analyzer,
+	goroutine.Analyzer,
+}
+
+// jsonFinding is the schema of one -json element; field names are part
+// of the CI artifact contract (see .github/workflows/ci.yml).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -91,8 +122,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vnslint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: %s (%s)\n", loader.Fset().Position(d.Pos), d.Message, d.Analyzer)
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			pos := loader.Fset().Position(d.Pos)
+			findings = append(findings, jsonFinding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "vnslint: encoding findings: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", loader.Fset().Position(d.Pos), d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "vnslint: %d finding(s)\n", len(diags))

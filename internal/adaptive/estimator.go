@@ -75,6 +75,8 @@ type PathEstimator struct {
 // half-life of *elapsed simulated time*, so irregular probe schedules
 // (budget-constrained rounds) converge at the same rate per second as
 // dense ones. The first sample initializes the estimate.
+//
+//vnslint:hotpath
 func (p *PathEstimator) Ingest(rttMs, now float64) {
 	p.mu.Lock()
 	if p.samples == 0 {

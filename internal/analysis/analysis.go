@@ -42,9 +42,19 @@ type Analyzer struct {
 	// analyzer (e.g. "wallclock"). Reportf honors it automatically.
 	Directive string
 	// Scope, when non-nil, restricts which package import paths the
-	// multichecker driver applies this analyzer to. Tests bypass it:
+	// multichecker driver KEEPS DIAGNOSTICS for. Tests bypass it:
 	// analysistest always runs the analyzer on the fixture package.
+	//
+	// An analyzer that declares FactTypes still RUNS on every package
+	// (facts are whole-program: a scoped package's diagnostics may
+	// depend on summaries of its dependencies), but findings it reports
+	// outside its Scope are discarded by the driver.
 	Scope func(pkgPath string) bool
+	// FactTypes lists the fact types (pointer-to-struct exemplars) the
+	// analyzer exports and imports. Declaring any makes the analyzer
+	// whole-program: the driver runs it over every loaded package in
+	// dependency order and shares one FactStore across all its passes.
+	FactTypes []Fact
 	// Run performs the check and reports findings through the Pass.
 	Run func(*Pass) error
 }
@@ -66,18 +76,28 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags      []Diagnostic
+	facts      *FactStore
 	directives map[string]map[int][]string // filename -> line -> directive names
 }
 
-// NewPass assembles a Pass over a loaded package for one analyzer,
-// scanning its files for //vnslint: directives.
+// NewPass assembles a Pass over a loaded package for one analyzer with
+// a private fact store, scanning its files for //vnslint: directives.
+// Whole-program drivers that need facts to flow between packages use
+// NewPassFacts with a shared store instead.
 func NewPass(a *Analyzer, pkg *Package) *Pass {
+	return NewPassFacts(a, pkg, NewFactStore())
+}
+
+// NewPassFacts assembles a Pass over a loaded package for one
+// analyzer, reading and writing facts through the given shared store.
+func NewPassFacts(a *Analyzer, pkg *Package, facts *FactStore) *Pass {
 	p := &Pass{
 		Analyzer:   a,
 		Fset:       pkg.Fset,
 		Files:      pkg.Files,
 		Pkg:        pkg.Types,
 		TypesInfo:  pkg.TypesInfo,
+		facts:      facts,
 		directives: map[string]map[int][]string{},
 	}
 	for _, f := range pkg.Files {
@@ -142,6 +162,39 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func (p *Pass) Diagnostics() []Diagnostic {
 	sort.SliceStable(p.diags, func(i, j int) bool { return p.diags[i].Pos < p.diags[j].Pos })
 	return p.diags
+}
+
+// Callee resolves the static callee of call: the *types.Func of a
+// direct function call or a method call on a concrete receiver. It
+// returns nil for builtins, conversions, func-value calls, and
+// interface-method calls — the dynamic cases a whole-program summary
+// cannot chase.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			f, _ := sel.Obj().(*types.Func)
+			if f != nil && f.Signature().Recv() != nil && types.IsInterface(f.Signature().Recv().Type()) {
+				return nil
+			}
+			return f
+		}
+		// Qualified identifier: pkg.F.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
 }
 
 // Parents maps every AST node in the pass's files to its parent node,

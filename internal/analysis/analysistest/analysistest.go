@@ -38,16 +38,24 @@ func TestData() string {
 // Run loads testdata/src/<pkg> for each named fixture package, applies
 // the analyzer (ignoring its Scope), and compares diagnostics against
 // the fixtures' want comments.
+//
+// All named packages share one loader and one fact store, so
+// multi-package fixture trees exercise cross-package facts: list
+// packages in dependency order (a fixture importing another by its
+// bare name, e.g. `import "dep"`, resolves to the already-loaded
+// fixture), and facts exported while analyzing an earlier package are
+// visible to passes over later ones.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	loader := analysis.NewLoader()
+	facts := analysis.NewFactStore()
 	for _, name := range pkgs {
 		dir := filepath.Join(testdata, "src", name)
 		pkg, err := loader.LoadDir(name, dir)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", name, err)
 		}
-		pass := analysis.NewPass(a, pkg)
+		pass := analysis.NewPassFacts(a, pkg, facts)
 		if err := a.Run(pass); err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, name, err)
 		}

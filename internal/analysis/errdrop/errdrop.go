@@ -1,12 +1,15 @@
 // Package errdrop flags silently discarded error results on
-// connection and writer operations in the session and management
-// paths.
+// connection and writer operations in the session, management,
+// telemetry and admin paths.
 //
 // A BGP session that ignores a failed SetDeadline keeps a dead
 // connection in Established until the hold timer fires much later; a
 // management handler that ignores a failed write reports success for
-// a command the operator never saw confirmed. Those paths must handle
-// write-side errors, so a call statement that drops one is rejected.
+// a command the operator never saw confirmed; a telemetry exposition
+// or vnsd admin handler that ignores a failed write serves truncated
+// scrape output that poisons downstream dashboards. Those paths must
+// handle write-side errors, so a call statement that drops one is
+// rejected.
 //
 // Only implicit discards are flagged — an expression statement whose
 // call returns an error nobody binds. Assigning the error explicitly
@@ -55,6 +58,8 @@ var Analyzer = &analysis.Analyzer{
 	Scope: analysis.PathIn(
 		"vns/internal/core",
 		"vns/internal/bgp",
+		"vns/internal/telemetry",
+		"vns/cmd/vnsd",
 	),
 	Run: run,
 }

@@ -1,0 +1,130 @@
+package analysis
+
+// Cross-package facts, mirroring golang.org/x/tools' analysis.Fact: an
+// analyzer running on package P may attach typed facts to P's objects
+// (functions, types, variables); when a downstream package Q that
+// imports P is analyzed later, the same analyzer can look those facts
+// up through the objects Q's type information references. The driver
+// guarantees the ordering (packages are analyzed in topological
+// dependency order, see run.go) and the object identity (targets are
+// type-checked through a shared loader whose importer returns the
+// already-checked *types.Package for module-internal imports, see
+// load.go), so a fact exported on netsim's TransitAggregate is visible
+// to the hotalloc pass over flowsim via the very object flowsim's call
+// sites resolve to.
+//
+// Unlike x/tools, facts are never serialized: the whole program is
+// analyzed in one process, so the store is a plain in-memory map and
+// facts may be attached to unexported objects too (x/tools drops those
+// at package boundaries; vnslint's summaries want them for
+// completeness of the -facts listing).
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a typed datum attached to an object. Implementations must be
+// pointers to structs; AFact is a marker to make registration in
+// Analyzer.FactTypes explicit, exactly like x/tools.
+type Fact interface {
+	AFact()
+}
+
+// ObjectFact pairs an object with one fact attached to it, for
+// enumeration (vnslint -facts).
+type ObjectFact struct {
+	Obj  types.Object
+	Fact Fact
+}
+
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+// FactStore holds every fact exported during one whole-program run.
+// One store is shared by all passes of all analyzers; fact types
+// namespace the entries (two analyzers must not share a fact type).
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[factKey]Fact{}}
+}
+
+// factType validates that fact is a pointer-to-struct and returns its
+// reflect type.
+func factType(fact Fact) reflect.Type {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact %T is not a pointer", fact))
+	}
+	return t
+}
+
+// declaresFact reports whether the analyzer registered fact's type in
+// FactTypes.
+func (a *Analyzer) declaresFact(fact Fact) bool {
+	t := factType(fact)
+	for _, ft := range a.FactTypes {
+		if factType(ft) == t {
+			return true
+		}
+	}
+	return false
+}
+
+// ExportObjectFact attaches fact to obj, replacing any earlier fact of
+// the same type. The fact type must appear in the analyzer's
+// FactTypes.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil {
+		panic("analysis: ExportObjectFact on nil object")
+	}
+	if !p.Analyzer.declaresFact(fact) {
+		panic(fmt.Sprintf("analysis: %s exports undeclared fact type %T", p.Analyzer.Name, fact))
+	}
+	p.facts.m[factKey{obj, factType(fact)}] = fact
+}
+
+// ImportObjectFact copies the fact of *fact's type attached to obj
+// into fact and reports whether one was found. The fact type must
+// appear in the analyzer's FactTypes.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	if !p.Analyzer.declaresFact(fact) {
+		panic(fmt.Sprintf("analysis: %s imports undeclared fact type %T", p.Analyzer.Name, fact))
+	}
+	got, ok := p.facts.m[factKey{obj, factType(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// AllObjectFacts returns every fact in the store whose type the
+// analyzer declares, ordered by object position for deterministic
+// output.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	var out []ObjectFact
+	for k, f := range p.facts.m {
+		if p.Analyzer.declaresFact(f) {
+			out = append(out, ObjectFact{Obj: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Obj.Pos() != out[j].Obj.Pos() {
+			return out[i].Obj.Pos() < out[j].Obj.Pos()
+		}
+		return out[i].Obj.Id() < out[j].Obj.Id()
+	})
+	return out
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// factT is a test fact type.
+type factT struct{ N int }
+
+func (*factT) AFact() {}
+
+// otherFact is deliberately never declared by the test analyzer.
+type otherFact struct{}
+
+func (*otherFact) AFact() {}
+
+// loadPair loads dep and a package importing it through ONE loader, so
+// the import resolves to the already-checked dep and object identities
+// unify — the property the whole fact machinery rests on.
+func loadPair(t *testing.T) (*Loader, *Package, *Package) {
+	t.Helper()
+	dir := t.TempDir()
+	depPath := filepath.Join(dir, "dep.go")
+	usePath := filepath.Join(dir, "use.go")
+	if err := os.WriteFile(depPath, []byte("package dep\n\nfunc Target() int { return 1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(usePath, []byte("package use\n\nimport \"dep\"\n\nvar _ = dep.Target\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader()
+	dep, err := loader.LoadFiles("dep", []string{depPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	use, err := loader.LoadFiles("use", []string{usePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader, dep, use
+}
+
+func TestObjectFactsCrossPackage(t *testing.T) {
+	_, dep, use := loadPair(t)
+	a := &Analyzer{Name: "t", FactTypes: []Fact{(*factT)(nil)}}
+	facts := NewFactStore()
+
+	// Export on dep's Target during the dep pass.
+	depPass := NewPassFacts(a, dep, facts)
+	target := dep.Types.Scope().Lookup("Target")
+	if target == nil {
+		t.Fatal("dep.Target not found")
+	}
+	depPass.ExportObjectFact(target, &factT{N: 7})
+
+	// The importing package must reach the SAME object...
+	imported := use.Types.Imports()
+	if len(imported) != 1 || imported[0].Path() != "dep" {
+		t.Fatalf("use imports %v, want exactly dep", imported)
+	}
+	viaUse := imported[0].Scope().Lookup("Target")
+	if viaUse != target {
+		t.Fatalf("object identity split across packages: %p vs %p", viaUse, target)
+	}
+
+	// ...and see the fact through it in a later pass.
+	usePass := NewPassFacts(a, use, facts)
+	var got factT
+	if !usePass.ImportObjectFact(viaUse, &got) {
+		t.Fatal("fact exported on dep.Target not visible from the importing package")
+	}
+	if got.N != 7 {
+		t.Errorf("imported fact N = %d, want 7", got.N)
+	}
+
+	// Re-export replaces the earlier fact of the same type.
+	usePass.ExportObjectFact(viaUse, &factT{N: 9})
+	if !usePass.ImportObjectFact(viaUse, &got) || got.N != 9 {
+		t.Errorf("after re-export, fact N = %d, want 9", got.N)
+	}
+
+	// Objects without a fact report absence; nil objects too.
+	probe := factT{N: -1}
+	if usePass.ImportObjectFact(use.Types.Scope().Lookup("nothing"), &probe) {
+		t.Error("ImportObjectFact on a missing object must report false")
+	}
+	if probe.N != -1 {
+		t.Error("a failed import must not modify the destination fact")
+	}
+
+	// Enumeration sees exactly the one object.
+	all := usePass.AllObjectFacts()
+	if len(all) != 1 || all[0].Obj != target {
+		t.Errorf("AllObjectFacts = %v, want exactly dep.Target", all)
+	}
+	if f, ok := all[0].Fact.(*factT); !ok || f.N != 9 {
+		t.Errorf("AllObjectFacts fact = %#v, want &factT{9}", all[0].Fact)
+	}
+}
+
+func TestUndeclaredFactPanics(t *testing.T) {
+	_, dep, _ := loadPair(t)
+	a := &Analyzer{Name: "t", FactTypes: []Fact{(*factT)(nil)}}
+	pass := NewPassFacts(a, dep, NewFactStore())
+	target := dep.Types.Scope().Lookup("Target")
+
+	defer func() {
+		if recover() == nil {
+			t.Error("exporting an undeclared fact type must panic")
+		}
+	}()
+	pass.ExportObjectFact(target, &otherFact{})
+}

@@ -1,0 +1,359 @@
+// Package goroutine enforces lifecycle discipline on go statements in
+// long-lived packages: every spawned goroutine must have a provable
+// shutdown path.
+//
+// vnsd and the subsystems it composes (health, telemetry, flowsim,
+// scenario, the BGP/mgmt/relay/SIP servers) run for the life of the
+// process; a goroutine spawned without an exit or a join is a leak
+// that accumulates across reconfigurations and makes clean shutdown
+// impossible. The check recognizes the disciplined patterns already
+// used in the tree and flags everything else:
+//
+//   - NEVER-EXITS: the goroutine body (or a function it statically
+//     calls, resolved transitively via facts) contains an infinite
+//     `for {}` loop with no reachable exit — no return, no break out
+//     of the loop, no panic/os.Exit. Such a goroutine cannot be shut
+//     down at all.
+//   - FIRE-AND-FORGET: the body neither signals completion nor
+//     observes shutdown — no sync.WaitGroup.Done, no close/send on a
+//     channel, no channel receive or select, no range over a channel.
+//     Nothing can join it, so process shutdown races against it.
+//   - UNPROVABLE: the go statement launches a dynamic call (func
+//     value, interface method) or a function outside the analyzed
+//     set, so neither property can be established.
+//
+// Named spawn targets are resolved through GoFact summaries exported
+// for every function in every analyzed package, so `go s.acceptLoop()`
+// is judged by acceptLoop's body — including what acceptLoop itself
+// calls, across package boundaries. Intentional exceptions carry
+// //vnslint:goleak <why>.
+package goroutine
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"vns/internal/analysis"
+)
+
+// GoFact is the exported per-function lifecycle summary.
+type GoFact struct {
+	// NoExit: the body contains an inescapable infinite loop.
+	NoExit bool
+	// Shutdown: the body signals completion or observes shutdown
+	// (WaitGroup.Done, channel close/send/receive/select/range).
+	Shutdown bool
+	// Reason locates the inescapable loop when NoExit is set.
+	Reason string
+}
+
+// AFact marks GoFact as a fact type.
+func (*GoFact) AFact() {}
+
+func (f *GoFact) String() string {
+	switch {
+	case f.NoExit:
+		return "never-exits: " + f.Reason
+	case f.Shutdown:
+		return "shutdown-aware"
+	default:
+		return "runs-to-completion"
+	}
+}
+
+// Analyzer is the goroutine-lifecycle check. Summaries are
+// whole-program; diagnostics are kept in the long-lived packages.
+var Analyzer = &analysis.Analyzer{
+	Name:      "goroutine",
+	Doc:       "every go statement in long-lived packages needs a provable shutdown path (exit + join/signal)",
+	Directive: "goleak",
+	Scope: analysis.PathIn(
+		"vns/cmd/vnsd",
+		"vns/internal/bgp",
+		"vns/internal/core",
+		"vns/internal/flowsim",
+		"vns/internal/health",
+		"vns/internal/media",
+		"vns/internal/relay",
+		"vns/internal/scenario",
+		"vns/internal/telemetry",
+		"vns/internal/vns",
+	),
+	FactTypes: []analysis.Fact{(*GoFact)(nil)},
+	Run:       run,
+}
+
+// summary pairs a function's own body properties with its static
+// callees, for transitive resolution.
+type summary struct {
+	own     GoFact
+	callees []*types.Func
+}
+
+func run(pass *analysis.Pass) error {
+	sums := map[*types.Func]*summary{}
+	var order []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &summary{}
+			if fd.Body != nil {
+				s.own, s.callees = classify(pass, fd.Body)
+			}
+			sums[obj] = s
+			order = append(order, obj)
+		}
+	}
+
+	// Transitive resolution: a function inherits NoExit from any static
+	// callee (calling a never-returning loop makes the caller never
+	// return) and Shutdown from SAME-PACKAGE callees only — intra-
+	// package delegation to a shutdown-aware helper counts, but a
+	// cross-package callee that happens to select on its own internals
+	// is not a join handle for this spawn. Unknown callees (std lib,
+	// dynamic) are assumed to terminate and contribute nothing.
+	memo := map[*types.Func]*GoFact{}
+	onStack := map[*types.Func]bool{}
+	var resolve func(obj *types.Func) *GoFact
+	resolve = func(obj *types.Func) *GoFact {
+		if f, ok := memo[obj]; ok {
+			return f
+		}
+		if onStack[obj] {
+			return &GoFact{}
+		}
+		s := sums[obj]
+		if s == nil {
+			f := &GoFact{}
+			if !pass.ImportObjectFact(obj, f) {
+				f = nil // outside the analyzed set
+			}
+			memo[obj] = f
+			return f
+		}
+		onStack[obj] = true
+		defer delete(onStack, obj)
+		verdict := &GoFact{NoExit: s.own.NoExit, Shutdown: s.own.Shutdown, Reason: s.own.Reason}
+		for _, c := range s.callees {
+			cf := resolve(c)
+			if cf == nil {
+				continue
+			}
+			if cf.NoExit && !verdict.NoExit {
+				verdict.NoExit = true
+				verdict.Reason = fmt.Sprintf("calls %s — %s", c.FullName(), cf.Reason)
+			}
+			if cf.Shutdown && c.Pkg() == pass.Pkg {
+				verdict.Shutdown = true
+			}
+		}
+		memo[obj] = verdict
+		return verdict
+	}
+
+	for _, obj := range order {
+		f := resolve(obj)
+		pass.ExportObjectFact(obj, &GoFact{NoExit: f.NoExit, Shutdown: f.Shutdown, Reason: f.Reason})
+	}
+
+	// Judge every go statement.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var verdict *GoFact
+			var what string
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				own, callees := classify(pass, lit.Body)
+				verdict = &GoFact{NoExit: own.NoExit, Shutdown: own.Shutdown, Reason: own.Reason}
+				for _, c := range callees {
+					if cf := resolve(c); cf != nil {
+						if cf.NoExit && !verdict.NoExit {
+							verdict.NoExit = true
+							verdict.Reason = fmt.Sprintf("calls %s — %s", c.FullName(), cf.Reason)
+						}
+						if cf.Shutdown && c.Pkg() == pass.Pkg {
+							verdict.Shutdown = true
+						}
+					}
+				}
+				what = "goroutine"
+			} else if callee := analysis.Callee(pass.TypesInfo, g.Call); callee != nil {
+				verdict = resolve(callee)
+				what = fmt.Sprintf("goroutine %s", callee.FullName())
+				if verdict == nil {
+					pass.Reportf(g.Pos(), "%s is outside the analyzed set; its shutdown path cannot be proven — wrap it in a joinable func, or annotate //vnslint:goleak", what)
+					return true
+				}
+			} else {
+				pass.Reportf(g.Pos(), "goroutine target is dynamic (func value or interface method); its shutdown path cannot be proven — spawn a named function, or annotate //vnslint:goleak")
+				return true
+			}
+			switch {
+			case verdict.NoExit:
+				pass.Reportf(g.Pos(), "%s never exits: %s — give its loop a ctx/done exit, or annotate //vnslint:goleak", what, verdict.Reason)
+			case !verdict.Shutdown:
+				pass.Reportf(g.Pos(), "fire-and-forget %s: nothing joins it and it observes no shutdown signal — add a WaitGroup/done channel, or annotate //vnslint:goleak", what)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// classify computes one body's own lifecycle properties and collects
+// its static callees. Nested func literals are NOT descended into:
+// they run on their own goroutines (go/defer) or are judged at their
+// own spawn sites.
+func classify(pass *analysis.Pass, body *ast.BlockStmt) (GoFact, []*types.Func) {
+	var fact GoFact
+	var callees []*types.Func
+	seen := map[*types.Func]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// The spawned body is judged at its own site; the spawn
+			// itself neither blocks nor exits this function.
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !hasExit(n) {
+				if !fact.NoExit {
+					fact.NoExit = true
+					fact.Reason = fmt.Sprintf("inescapable for-loop at %s", relPos(pass.Fset, n.Pos()))
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					fact.Shutdown = true // exits when the producer closes
+				}
+			}
+		case *ast.SelectStmt:
+			fact.Shutdown = true
+		case *ast.SendStmt:
+			fact.Shutdown = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				fact.Shutdown = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					if b.Name() == "close" {
+						fact.Shutdown = true
+					}
+					return true
+				}
+			}
+			if callee := analysis.Callee(pass.TypesInfo, n); callee != nil {
+				if callee.FullName() == "(*sync.WaitGroup).Done" {
+					fact.Shutdown = true
+					return true
+				}
+				if !seen[callee] {
+					seen[callee] = true
+					callees = append(callees, callee)
+				}
+			}
+		}
+		return true
+	})
+	return fact, callees
+}
+
+// hasExit reports whether the infinite loop has a reachable way out:
+// a return, a break that targets it (directly or by label), a goto, or
+// a process-terminating call.
+func hasExit(loop *ast.ForStmt) bool {
+	found := false
+	// breakable tracks whether an unlabeled break in the current
+	// subtree would bind to a nested statement instead of loop.
+	var walk func(n ast.Node, breakCaptured bool)
+	walk = func(n ast.Node, breakCaptured bool) {
+		if n == nil || found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			found = true
+			return
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.GOTO:
+				found = true
+			case token.BREAK:
+				// A labeled break targets an enclosing labeled
+				// statement — from inside the loop, that exits it (or
+				// something outside it). An unlabeled break exits the
+				// loop only when no nested breakable captured it.
+				if n.Label != nil || !breakCaptured {
+					found = true
+				}
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == n {
+					return true
+				}
+				walk(c, true)
+				return false
+			})
+			return
+		case *ast.CallExpr:
+			if terminates(n) {
+				found = true
+				return
+			}
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c, breakCaptured)
+			return false
+		})
+	}
+	for _, stmt := range loop.Body.List {
+		walk(stmt, false)
+	}
+	return found
+}
+
+// terminates reports whether the call never returns: panic, os.Exit,
+// log.Fatal*, runtime.Goexit.
+func terminates(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch pkg.Name + "." + fun.Sel.Name {
+			case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func relPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,39 @@
+package goroutine_test
+
+import (
+	"testing"
+
+	"vns/internal/analysis/analysistest"
+	"vns/internal/analysis/goroutine"
+)
+
+// TestGoroutine runs the analyzer over a two-package fixture tree in
+// dependency order: gdep's GoFacts are exported first and consumed
+// while judging the spawn sites in g.
+func TestGoroutine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goroutine.Analyzer, "gdep", "g")
+}
+
+// TestScope pins the long-lived package set: diagnostics stay inside
+// the daemon and the subsystems it composes.
+func TestScope(t *testing.T) {
+	for _, path := range []string{
+		"vns/cmd/vnsd",
+		"vns/internal/health",
+		"vns/internal/telemetry",
+		"vns/internal/flowsim",
+	} {
+		if !goroutine.Analyzer.Scope(path) {
+			t.Errorf("Scope(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{
+		"vns/internal/experiments",
+		"vns/internal/topo",
+		"vns/cmd/vnslint",
+	} {
+		if goroutine.Analyzer.Scope(path) {
+			t.Errorf("Scope(%q) = true, want false", path)
+		}
+	}
+}

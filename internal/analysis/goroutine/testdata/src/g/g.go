@@ -1,0 +1,91 @@
+// Fixture for the goroutine analyzer: every go statement needs a
+// provable shutdown path. Package gdep is analyzed first; named spawn
+// targets there are judged through imported GoFacts.
+package g
+
+import (
+	"sort"
+	"sync"
+
+	"gdep"
+)
+
+var counter int
+
+// waits observes shutdown directly (channel receive).
+func waits(ch chan int) { <-ch }
+
+// viaHelper inherits Shutdown from a same-package callee.
+func viaHelper(ch chan int) { waits(ch) }
+
+// wraps delegates to a shutdown-aware function in ANOTHER package;
+// that does not count as a join handle for wraps' own spawn.
+func wraps(ch chan int) { gdep.Worker(ch) }
+
+// spinLocal never exits; callsSpin inherits NoExit transitively.
+func spinLocal() {
+	for {
+		counter++
+	}
+}
+
+func callsSpin() { spinLocal() }
+
+func Spawn(ch chan int, done chan struct{}, wg *sync.WaitGroup, f func(), s []int) {
+	go gdep.Worker(ch) // ok: imported fact proves it exits on channel close
+
+	go gdep.Forever() // want `goroutine gdep\.Forever never exits: inescapable for-loop at gdep\.go:\d+`
+
+	go gdep.Quick() // want `fire-and-forget goroutine gdep\.Quick`
+
+	go viaHelper(ch) // ok: Shutdown inherited from same-package waits
+
+	go wraps(ch) // want `fire-and-forget goroutine g\.wraps`
+
+	go callsSpin() // want `goroutine g\.callsSpin never exits: calls g\.spinLocal`
+
+	go func() { // ok: signals completion
+		close(done)
+	}()
+
+	go func() { // want `fire-and-forget goroutine: nothing joins it`
+		counter++
+	}()
+
+	go func() { // want `goroutine never exits: inescapable for-loop at g\.go:\d+`
+		for {
+			counter++
+		}
+	}()
+
+	go func() { // ok: joins via WaitGroup
+		defer wg.Done()
+		counter++
+	}()
+
+	go func() { // ok: select observes shutdown, return exits the loop
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				counter += v
+			}
+		}
+	}()
+
+	go func() { // want `goroutine never exits`
+		for {
+			switch counter {
+			case 1:
+				break // binds to the switch, not the loop: no exit
+			}
+		}
+	}()
+
+	go f() // want `dynamic \(func value or interface method\)`
+
+	go sort.Ints(s) // want `goroutine sort\.Ints is outside the analyzed set`
+
+	go gdep.Forever() //vnslint:goleak fixture: intentionally leaked to prove suppression
+}

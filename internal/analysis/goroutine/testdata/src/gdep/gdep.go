@@ -1,0 +1,20 @@
+// Fixture dependency for the goroutine analyzer: analyzed first, its
+// GoFact summaries are consumed by package g through the shared fact
+// store. No go statements here, so nothing here is flagged.
+package gdep
+
+// Forever spins with no reachable exit: its fact is never-exits.
+func Forever() {
+	for {
+	}
+}
+
+// Worker exits when its channel closes: its fact is shutdown-aware.
+func Worker(ch chan int) {
+	for range ch {
+	}
+}
+
+// Quick returns immediately but neither signals completion nor
+// observes shutdown: its fact is runs-to-completion.
+func Quick() {}

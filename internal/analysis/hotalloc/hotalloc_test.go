@@ -1,0 +1,26 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"vns/internal/analysis/analysistest"
+	"vns/internal/analysis/hotalloc"
+)
+
+// TestHotAlloc runs the analyzer over a two-package fixture tree in
+// dependency order, exercising cross-package AllocFact flow: dep's
+// summaries are exported first and consumed while analyzing hot.
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer, "dep", "hot")
+}
+
+// TestWholeProgram pins the whole-program contract: no Scope (the
+// driver must run it everywhere) and both fact types declared.
+func TestWholeProgram(t *testing.T) {
+	if hotalloc.Analyzer.Scope != nil {
+		t.Error("hotalloc must not restrict Scope: summaries are whole-program")
+	}
+	if len(hotalloc.Analyzer.FactTypes) != 2 {
+		t.Errorf("hotalloc declares %d fact types, want 2 (AllocFact, HotFact)", len(hotalloc.Analyzer.FactTypes))
+	}
+}

@@ -1,0 +1,17 @@
+// Fixture dependency for hotalloc cross-package facts: analyzed first,
+// its allocation summaries are consumed by the hot package through the
+// shared fact store. Nothing here is hot, so nothing here is flagged.
+package dep
+
+// Clean is allocation-free.
+func Clean(x int) int { return x * 2 }
+
+// Alloc allocates; hot callers in the importing package must be
+// flagged through the exported fact.
+func Alloc(n int) []int {
+	return make([]int, n)
+}
+
+// Indirect allocates only through Alloc, proving summaries chain
+// within the dependency before the fact is exported.
+func Indirect(n int) int { return len(Alloc(n)) }

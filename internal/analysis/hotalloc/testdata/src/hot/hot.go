@@ -1,0 +1,101 @@
+// Fixture for the hotalloc analyzer: //vnslint:hotpath functions must
+// be allocation-free, transitively through same-package helpers and
+// cross-package facts (package dep is analyzed first).
+package hot
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"dep"
+)
+
+// Clean hot function: arithmetic and an alloc-free cross-package call.
+//
+//vnslint:hotpath
+func HotClean(x int) int { return dep.Clean(x) + 1 }
+
+// Cross-package edge to an allocator, proven via the AllocFact
+// exported while dep was analyzed.
+//
+//vnslint:hotpath
+func HotCallsAlloc(n int) int {
+	return len(dep.Alloc(n)) // want `calls dep\.Alloc, which is not allocation-free: dep\.go:\d+: make allocates`
+}
+
+// Two-level cross-package chain: dep.Indirect -> dep.Alloc.
+//
+//vnslint:hotpath
+func HotCallsIndirect(n int) int {
+	return dep.Indirect(n) // want `calls dep\.Indirect, which is not allocation-free`
+}
+
+// Direct allocation sites in the hot body itself.
+//
+//vnslint:hotpath
+func HotLocal(m map[string]int, s []int, k string) []int {
+	t := make([]int, 4) // want `make allocates`
+	p := new(int)       // want `new allocates`
+	s = append(s, *p)   // want `append may grow its backing array`
+	m[k] = 1            // want `map assignment may allocate`
+	k += "x"            // want `string concatenation allocates`
+	_ = t
+	return s
+}
+
+// Interface boxing at the return boundary.
+//
+//vnslint:hotpath
+func HotBox(x int) any {
+	return x // want `interface boxing allocates`
+}
+
+// Closures allocate their capture environment.
+//
+//vnslint:hotpath
+func HotClosure(x int) func() int {
+	return func() int { return x } // want `closure \(func literal\) allocates`
+}
+
+// Dynamic calls cannot be proven.
+//
+//vnslint:hotpath
+func HotDyn(f func() int) int {
+	return f() // want `dynamic call \(interface method or func value\)`
+}
+
+// Callees outside the analyzed set (and outside the allowlist) are
+// conservatively allocating.
+//
+//vnslint:hotpath
+func HotUnknown(s []int) {
+	sort.Ints(s) // want `no allocation summary for sort\.Ints`
+}
+
+// Allowlisted std callees pass: atomics never allocate.
+//
+//vnslint:hotpath
+func HotAtomic(c *atomic.Uint64) {
+	c.Add(1)
+}
+
+// helper allocates; hot callers see it through the same-package
+// summary.
+func helper() []byte { return make([]byte, 8) }
+
+//vnslint:hotpath
+func HotViaHelper() []byte {
+	return helper() // want `calls hot\.helper, which is not allocation-free`
+}
+
+// A justified site: the //vnslint:hotalloc directive excludes it from
+// the summary, clearing this function for every hot caller.
+func coldInit() *int {
+	return new(int) //vnslint:hotalloc one-time cold-path initialization
+}
+
+//vnslint:hotpath
+func HotViaJustified() *int { return coldInit() }
+
+// Not annotated: allocations here yield facts, never diagnostics.
+func notHot() []int { return make([]int, 1) }

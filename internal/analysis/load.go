@@ -35,15 +35,42 @@ type Package struct {
 // One Loader should be reused across packages: the underlying importer
 // caches every dependency it compiles, so the standard library is
 // type-checked once per process, not once per target package.
+//
+// The Loader is also the whole-program unification point for facts:
+// every package it loads as a target is recorded, and later targets
+// that import it resolve the import to the SAME *types.Package rather
+// than recompiling it through the source importer. With targets loaded
+// in dependency order (run.go topologically sorts them), a fact
+// exported on an object of package P is found again through the
+// identical types.Object when a dependent package Q is analyzed.
 type Loader struct {
 	fset *token.FileSet
-	imp  types.Importer
+	imp  *cachingImporter
+}
+
+// cachingImporter resolves imports from the loader's already-checked
+// target packages first and falls back to the standard library's
+// source importer for everything else (std lib, and module packages
+// not loaded as targets).
+type cachingImporter struct {
+	loaded map[string]*types.Package
+	next   types.Importer
+}
+
+func (c *cachingImporter) Import(path string) (*types.Package, error) {
+	if p := c.loaded[path]; p != nil {
+		return p, nil
+	}
+	return c.next.Import(path)
 }
 
 // NewLoader creates a Loader with a fresh FileSet and importer cache.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{fset: fset, imp: &cachingImporter{
+		loaded: map[string]*types.Package{},
+		next:   importer.ForCompiler(fset, "source", nil),
+	}}
 }
 
 // Fset returns the loader's file set; all loaded packages share it.
@@ -83,6 +110,13 @@ func (l *Loader) LoadFiles(path string, filenames []string) (*Package, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	// Register the checked package so later targets (and fixture
+	// packages) importing it share its object identities. Command
+	// packages are never importable; registering them would only
+	// shadow, so skip those.
+	if pkg.Name() != "main" {
+		l.imp.loaded[path] = pkg
 	}
 	return &Package{Path: path, Fset: l.fset, Files: files, Types: pkg, TypesInfo: info}, nil
 }

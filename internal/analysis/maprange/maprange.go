@@ -1,0 +1,185 @@
+// Package maprange makes nondeterministic map iteration structurally
+// impossible in packages whose behavior must replay bit-identically.
+//
+// Go randomizes map iteration order on every run. Inside the simclock
+// deterministic core — and in the topology generator and RIB/FIB
+// machinery feeding it — a bare `for k := range m` whose order reaches
+// trace output, event scheduling, or a route decision silently breaks
+// replay: PR 6 shipped exactly this bug in topo.Generate, and only a
+// golden-trace test caught it. The analyzer flags every range over a
+// map in scoped packages unless it matches one of the two locally
+// verifiable safe idioms:
+//
+//   - collect-then-sort: the loop body is a single
+//     `s = append(s, ...)` and the enclosing function sorts s after
+//     the loop (sort.* / slices.Sort*). This is what detsort.Keys
+//     does; open-coded copies remain legal.
+//   - drain: the loop body is a single `delete(m, ...)`. Removing
+//     elements is order-independent.
+//
+// Everything else — including order-commutative reductions like sums,
+// which the analyzer cannot prove commutative — either iterates
+// detsort.Keys / detsort.KeysFunc or carries an explicit
+// //vnslint:maprange <why> justification.
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vns/internal/analysis"
+)
+
+// Analyzer is the deterministic-map-iteration check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "maprange",
+	Doc:       "map iteration in determinism-critical packages must use sorted keys (detsort) or a provably order-free idiom",
+	Directive: "maprange",
+	Scope: analysis.PathIn(
+		// The simclock deterministic core...
+		"vns/internal/adaptive",
+		"vns/internal/netsim",
+		"vns/internal/vns",
+		"vns/internal/fib",
+		"vns/internal/flowsim",
+		"vns/internal/health",
+		"vns/internal/experiments",
+		"vns/internal/scenario",
+		// ...plus the packages that compute its inputs and routes.
+		"vns/internal/topo",
+		"vns/internal/core",
+		"vns/internal/rib",
+	),
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc judges every map range in one function body. Sort calls
+// anywhere later in the same body legalize collect loops before them;
+// func literals are checked as their own bodies (a sort in the outer
+// function does not order a collect inside a literal, or vice versa).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	var sortEnds []ast.Node // calls that order a previously collected slice
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body { // guard: Inspect revisits the root
+				checkFunc(pass, n.Body)
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					ranges = append(ranges, n)
+				}
+			}
+		case *ast.CallExpr:
+			if isSortCall(pass.TypesInfo, n) {
+				sortEnds = append(sortEnds, n)
+			}
+		}
+		return true
+	})
+	for _, r := range ranges {
+		if isDrainLoop(pass.TypesInfo, r) {
+			continue
+		}
+		if isCollectLoop(r) {
+			sorted := false
+			for _, s := range sortEnds {
+				if s.Pos() >= r.End() {
+					sorted = true
+					break
+				}
+			}
+			if sorted {
+				continue
+			}
+		}
+		pass.Reportf(r.Pos(), "map iteration order is nondeterministic here — iterate detsort.Keys/KeysFunc (or collect keys and sort before use), or annotate //vnslint:maprange with why order cannot escape")
+	}
+}
+
+// isCollectLoop reports whether the loop body is exactly
+// `s = append(s, ...)` — the first half of collect-then-sort.
+func isCollectLoop(r *ast.RangeStmt) bool {
+	if len(r.Body.List) != 1 {
+		return false
+	}
+	asg, ok := r.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	// The appended-to slice must be the assignment target, so the
+	// collected keys are what gets sorted.
+	lhs, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && arg0.Name == lhs.Name
+}
+
+// isDrainLoop reports whether the loop body is exactly
+// `delete(m, ...)` on the ranged map.
+func isDrainLoop(info *types.Info, r *ast.RangeStmt) bool {
+	if len(r.Body.List) != 1 {
+		return false
+	}
+	es, ok := r.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[fn].(*types.Builtin)
+	return ok && b.Name() == "delete"
+}
+
+// isSortCall recognizes the standard-library ordering calls that
+// legalize a preceding collect loop: anything in package sort, the
+// slices.Sort* family, and detsort's own helpers (so wrappers built on
+// detsort pass too).
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	f := analysis.Callee(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "sort", "vns/internal/detsort":
+		return true
+	case "slices":
+		switch f.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"vns/internal/analysis/analysistest"
+	"vns/internal/analysis/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maprange.Analyzer, "a")
+}
+
+// TestScope pins the determinism-critical package set.
+func TestScope(t *testing.T) {
+	for _, path := range []string{
+		"vns/internal/netsim",
+		"vns/internal/topo",
+		"vns/internal/rib",
+		"vns/internal/experiments",
+	} {
+		if !maprange.Analyzer.Scope(path) {
+			t.Errorf("Scope(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{
+		"vns/internal/telemetry",
+		"vns/cmd/vnsd",
+		"vns/internal/analysis",
+	} {
+		if maprange.Analyzer.Scope(path) {
+			t.Errorf("Scope(%q) = true, want false", path)
+		}
+	}
+}

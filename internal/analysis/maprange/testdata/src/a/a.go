@@ -1,0 +1,103 @@
+// Fixture for the maprange analyzer: every range over a map is flagged
+// unless it is a drain loop, a collect-then-sort loop, or carries a
+// //vnslint:maprange justification.
+package a
+
+import "sort"
+
+var sink []string
+
+// Bare iteration leaks map order.
+func bare(m map[string]int) {
+	for k := range m { // want `map iteration order is nondeterministic`
+		sink = append(sink, k)
+		_ = m[k]
+	}
+}
+
+// Collecting without sorting is still nondeterministic.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// The open-coded collect-then-sort idiom passes.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Draining a map is order-independent.
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// An explicit justification suppresses the finding.
+func justified(m map[string]int) int {
+	n := 0
+	//vnslint:maprange commutative integer sum; order cannot escape
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Ranging over a slice is always fine.
+func sliceRange(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}
+
+// A sort inside a nested func literal does NOT order the outer
+// function's collect loop.
+func sortInsideLiteral(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	f := func(s []string) { sort.Strings(s) }
+	f(keys)
+	return keys
+}
+
+// A func literal body is judged on its own: collect-then-sort inside
+// it passes, and the enclosing function adds nothing.
+func literalSelfContained(m map[string]int) func() []string {
+	return func() []string {
+		var keys []string
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+}
+
+// A bare range inside a literal is flagged at the literal.
+func literalBare(m map[string]int) func() {
+	return func() {
+		for k := range m { // want `map iteration order is nondeterministic`
+			sink = append(sink, k)
+		}
+	}
+}
+
+// Even an empty body is flagged: emptiness proves nothing about why
+// the loop exists, and the two safe idioms require exactly one
+// statement of a known shape.
+func emptyBody(m map[string]int) {
+	for range m { // want `map iteration order is nondeterministic`
+	}
+}

@@ -7,21 +7,24 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"sort"
 )
 
 // listedPackage is the slice of `go list -json` output the driver
-// needs.
+// needs. Imports drives the topological ordering that makes
+// cross-package facts sound.
 type listedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 }
 
 // listPackages expands package patterns (e.g. "./...") into concrete
 // packages by invoking the go command, the same resolution `go vet`
 // uses.
 func listPackages(patterns []string) ([]listedPackage, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles", "--"}, patterns...)
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Imports", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	out, err := cmd.StdoutPipe()
 	if err != nil {
@@ -60,27 +63,79 @@ func (c *prefixCapture) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// Run loads every package matched by patterns and applies each
-// analyzer whose Scope accepts the package's import path. It returns
-// all diagnostics in (file, position) order.
+// topoOrder returns the packages sorted so that every package follows
+// all of its listed dependencies: the load/analyze order under which
+// facts exported by a dependency exist before a dependent pass asks
+// for them. Ties (and the traversal itself) break by import path, so
+// the order — and therefore diagnostic and fact ordering — is
+// deterministic. Import edges leaving the listed set (std lib) are
+// ignored; cycles cannot occur in valid Go packages.
+func topoOrder(pkgs []listedPackage) []listedPackage {
+	byPath := make(map[string]*listedPackage, len(pkgs))
+	paths := make([]string, 0, len(pkgs))
+	for i := range pkgs {
+		byPath[pkgs[i].ImportPath] = &pkgs[i]
+		paths = append(paths, pkgs[i].ImportPath)
+	}
+	sort.Strings(paths)
+
+	out := make([]listedPackage, 0, len(pkgs))
+	done := make(map[string]bool, len(pkgs))
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := byPath[path]
+		if !ok || done[path] {
+			return
+		}
+		done[path] = true
+		imports := append([]string(nil), p.Imports...)
+		sort.Strings(imports)
+		for _, imp := range imports {
+			visit(imp)
+		}
+		out = append(out, *p)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
+}
+
+// Run loads every package matched by patterns in topological
+// dependency order and applies the analyzers: a plain analyzer runs on
+// the packages its Scope accepts; an analyzer with FactTypes runs on
+// every package (its facts are whole-program summaries) but keeps
+// diagnostics only where its Scope accepts. All analyzers of one run
+// share a single FactStore. Diagnostics come back in (package,
+// position) order of the topological traversal.
 func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, *Loader, error) {
 	listed, err := listPackages(patterns)
 	if err != nil {
 		return nil, nil, err
 	}
+	listed = topoOrder(listed)
+
 	loader := NewLoader()
+	facts := NewFactStore()
 	var diags []Diagnostic
 	for _, lp := range listed {
 		if len(lp.GoFiles) == 0 {
 			continue
 		}
-		var wanted []*Analyzer
+		// wanted: analyzers that must RUN on this package; inScope:
+		// whether their diagnostics are kept.
+		type job struct {
+			a       *Analyzer
+			inScope bool
+		}
+		var jobs []job
 		for _, a := range analyzers {
-			if a.Scope == nil || a.Scope(lp.ImportPath) {
-				wanted = append(wanted, a)
+			inScope := a.Scope == nil || a.Scope(lp.ImportPath)
+			if inScope || len(a.FactTypes) > 0 {
+				jobs = append(jobs, job{a, inScope})
 			}
 		}
-		if len(wanted) == 0 {
+		if len(jobs) == 0 {
 			continue
 		}
 		filenames := make([]string, len(lp.GoFiles))
@@ -91,12 +146,14 @@ func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, *Loader, error
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, a := range wanted {
-			pass := NewPass(a, pkg)
-			if err := a.Run(pass); err != nil {
-				return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, lp.ImportPath, err)
+		for _, j := range jobs {
+			pass := NewPassFacts(j.a, pkg, facts)
+			if err := j.a.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("%s on %s: %w", j.a.Name, lp.ImportPath, err)
 			}
-			diags = append(diags, pass.Diagnostics()...)
+			if j.inScope {
+				diags = append(diags, pass.Diagnostics()...)
+			}
 		}
 	}
 	return diags, loader, nil

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"vns/internal/bgp"
+	"vns/internal/detsort"
 	"vns/internal/geo"
 	"vns/internal/geoip"
 	"vns/internal/telemetry"
@@ -340,15 +341,12 @@ func (rr *GeoRR) EgressDown(id netip.Addr) bool {
 	return rr.downEgress[id]
 }
 
-// DownEgresses returns the currently withdrawn egress routers.
+// DownEgresses returns the currently withdrawn egress routers in
+// address order.
 func (rr *GeoRR) DownEgresses() []netip.Addr {
 	rr.mu.RLock()
 	defer rr.mu.RUnlock()
-	out := make([]netip.Addr, 0, len(rr.downEgress))
-	for id := range rr.downEgress {
-		out = append(out, id)
-	}
-	return out
+	return detsort.KeysFunc(rr.downEgress, netip.Addr.Compare)
 }
 
 // OnChange registers fn to be invoked with every prefix whose routing

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"vns/internal/bgp"
+	"vns/internal/detsort"
 	"vns/internal/rib"
 	"vns/internal/telemetry"
 )
@@ -70,6 +71,7 @@ func (s *RRServer) Close() error {
 	s.closeOnce.Do(func() {
 		err = s.ln.Close()
 		s.mu.Lock()
+		//vnslint:maprange closing every session; each Close is independent, order cannot escape
 		for _, sess := range s.peers {
 			sess.Close()
 		}
@@ -168,8 +170,8 @@ func (s *RRServer) purgePeer(peerID netip.Addr) {
 		}
 	}
 	targets := make([]*bgp.Session, 0, len(s.peers))
-	for _, sess := range s.peers {
-		targets = append(targets, sess)
+	for _, id := range detsort.KeysFunc(s.peers, netip.Addr.Compare) {
+		targets = append(targets, s.peers[id])
 	}
 	s.mu.Unlock()
 
@@ -217,9 +219,9 @@ func (s *RRServer) handleUpdate(from netip.Addr, u bgp.Update) {
 		outs = append(outs, out)
 	}
 	targets := make([]*bgp.Session, 0, len(s.peers))
-	for id, sess := range s.peers {
+	for _, id := range detsort.KeysFunc(s.peers, netip.Addr.Compare) {
 		if id != from {
-			targets = append(targets, sess)
+			targets = append(targets, s.peers[id])
 		}
 	}
 	s.mu.Unlock()

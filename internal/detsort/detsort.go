@@ -1,0 +1,50 @@
+// Package detsort provides deterministic iteration over Go maps, the
+// sorted-key helpers the vnslint maprange analyzer steers code toward.
+//
+// Go randomizes map iteration order per run; any map range whose order
+// can reach trace output, event scheduling, or a routing decision is a
+// latent nondeterminism bug (PR 6 fixed exactly this in topo.Generate,
+// caught only because a golden trace happened to cover it). Packages
+// under the maprange analyzer's scope iterate maps through these
+// helpers — or through the one locally-verified collect-then-sort
+// idiom — so iteration order is a property of the data, never of the
+// runtime.
+package detsort
+
+import (
+	"cmp"
+	"net/netip"
+	"slices"
+)
+
+// Keys returns m's keys in ascending order.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// KeysFunc returns m's keys sorted by the three-way comparison cmp,
+// for key types without a natural order (netip.Addr.Compare, struct
+// keys).
+func KeysFunc[M ~map[K]V, K comparable, V any](m M, cmp func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, cmp)
+	return keys
+}
+
+// PrefixCompare is the canonical total order on prefixes (address,
+// then bits) for KeysFunc over prefix-keyed maps: netip.Prefix has no
+// Compare method of its own.
+func PrefixCompare(a, b netip.Prefix) int {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Bits(), b.Bits())
+}

@@ -1,0 +1,56 @@
+package detsort
+
+import (
+	"net/netip"
+	"slices"
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	m := map[string]int{"c": 1, "a": 2, "b": 3}
+	got := Keys(m)
+	if !slices.Equal(got, []string{"a", "b", "c"}) {
+		t.Errorf("Keys = %v, want sorted keys", got)
+	}
+	if got := Keys(map[int]bool{}); len(got) != 0 {
+		t.Errorf("Keys of empty map = %v, want empty", got)
+	}
+}
+
+func TestKeysFunc(t *testing.T) {
+	m := map[netip.Addr]string{
+		netip.MustParseAddr("10.0.0.2"): "b",
+		netip.MustParseAddr("10.0.0.1"): "a",
+	}
+	got := KeysFunc(m, netip.Addr.Compare)
+	want := []netip.Addr{netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")}
+	if !slices.Equal(got, want) {
+		t.Errorf("KeysFunc = %v, want %v", got, want)
+	}
+}
+
+func TestPrefixCompare(t *testing.T) {
+	p := func(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+	cases := []struct {
+		a, b string
+		want int // sign
+	}{
+		{"10.0.0.0/8", "10.0.0.0/8", 0},
+		{"10.0.0.0/8", "10.0.0.0/16", -1}, // same addr: shorter first
+		{"10.0.0.0/16", "11.0.0.0/8", -1}, // addr dominates bits
+		{"192.168.0.0/24", "10.0.0.0/8", 1},
+	}
+	for _, c := range cases {
+		got := PrefixCompare(p(c.a), p(c.b))
+		if (got > 0) != (c.want > 0) || (got < 0) != (c.want < 0) {
+			t.Errorf("PrefixCompare(%s, %s) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+	}
+	// Sorting with it must be deterministic regardless of input order.
+	in := []netip.Prefix{p("10.0.0.0/16"), p("10.0.0.0/8"), p("9.0.0.0/8")}
+	slices.SortFunc(in, PrefixCompare)
+	want := []netip.Prefix{p("9.0.0.0/8"), p("10.0.0.0/8"), p("10.0.0.0/16")}
+	if !slices.Equal(in, want) {
+		t.Errorf("sorted = %v, want %v", in, want)
+	}
+}

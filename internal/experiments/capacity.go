@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"vns/internal/detsort"
 	"vns/internal/geo"
 	"vns/internal/measure"
 	"vns/internal/vns"
@@ -82,6 +83,7 @@ func CapacityStudy(e *Env, calls int, intraRegionBias float64) *CapacityResult {
 	}
 
 	res := &CapacityResult{Load: make(map[string]float64), Calls: done}
+	//vnslint:maprange map-to-map per-key ratio; destination is a map, order cannot escape
 	for name, hits := range linkLoad {
 		res.Load[name] = float64(hits) / float64(totalLinkHits)
 	}
@@ -126,7 +128,9 @@ func (r *CapacityResult) TopLinks(n int) []string {
 // links — the expensive capacity the cost model's commit covers.
 func (r *CapacityResult) LongHaulShare(e *Env) float64 {
 	var longHaul float64
-	for name, load := range r.Load {
+	// Sorted: float accumulation order changes the low bits of the sum.
+	for _, name := range detsort.Keys(r.Load) {
+		load := r.Load[name]
 		codes := strings.SplitN(name, "-", 2)
 		a, b := e.Net.PoP(codes[0]), e.Net.PoP(codes[1])
 		if a.Region() != b.Region() {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"vns/internal/detsort"
 	"vns/internal/measure"
 	"vns/internal/vns"
 )
@@ -50,7 +51,10 @@ func CongruenceStudy(e *Env) *CongruenceResult {
 	}
 
 	var fracs []float64
-	for _, idxs := range byOrigin {
+	// Sorted by origin AS so the fraction series (and its CDF) is
+	// reproducible run to run.
+	for _, origin := range detsort.Keys(byOrigin) {
+		idxs := byOrigin[origin]
 		if len(idxs) < 2 {
 			continue
 		}
@@ -66,6 +70,7 @@ func CongruenceStudy(e *Env) *CongruenceResult {
 			continue
 		}
 		modal := 0
+		//vnslint:maprange max over ints; ties yield the same value, order cannot escape
 		for _, c := range counts {
 			if c > modal {
 				modal = c

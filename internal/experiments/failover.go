@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"strings"
 
+	"vns/internal/detsort"
 	"vns/internal/health"
 	"vns/internal/media"
 	"vns/internal/netsim"
@@ -197,8 +198,9 @@ func FailoverStudy(cfg FailoverConfig) *FailoverResult {
 	// The stream's dominant egresses before and during the outage.
 	sydCount := egress[syd.ID]
 	bestOther, bestCount := 0, 0
-	for pop, n := range egress {
-		if pop != syd.ID && n > bestCount {
+	// Sorted: a count tie must resolve to the same PoP every run.
+	for _, pop := range detsort.Keys(egress) {
+		if n := egress[pop]; pop != syd.ID && n > bestCount {
 			bestOther, bestCount = pop, n
 		}
 	}

@@ -90,6 +90,7 @@ func Fig3GeoPrecision(e *Env) *Fig3Result {
 		}
 	}
 	res.All = measure.NewCDF(all)
+	//vnslint:maprange map-to-map per-key CDF build; destination is a map, order cannot escape
 	for r, xs := range perRegion {
 		res.PerRegion[r] = measure.NewCDF(xs)
 	}

@@ -51,6 +51,7 @@ func Fig6DelayDifference(e *Env) *Fig6Result {
 			diffs[code] = append(diffs[code], vnsRTT-upRTT)
 		}
 	}
+	//vnslint:maprange map-to-map per-key CDF build; destination is a map, order cannot escape
 	for code, xs := range diffs {
 		res.PerPoP[code] = measure.NewCDF(xs)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vns/internal/detsort"
 	"vns/internal/geo"
 	"vns/internal/measure"
 )
@@ -44,8 +45,10 @@ func Fig7IncomingTraffic(e *Env, requests int) *Fig7Result {
 		totals[a.Region]++
 	}
 	res := &Fig7Result{Share: make(map[geo.Region]map[geo.Region]float64), Requests: got}
+	//vnslint:maprange map-to-map per-key ratio; destination is a map, order cannot escape
 	for origin, row := range counts {
 		res.Share[origin] = make(map[geo.Region]float64)
+		//vnslint:maprange map-to-map per-key ratio; destination is a map, order cannot escape
 		for popRegion, c := range row {
 			res.Share[origin][popRegion] = float64(c) / float64(totals[origin])
 		}
@@ -57,8 +60,11 @@ func Fig7IncomingTraffic(e *Env, requests int) *Fig7Result {
 // PoP region that serves the origin region ("traffic follows geography").
 func (r *Fig7Result) DiagonalShare() float64 {
 	var match, total float64
-	for origin, row := range r.Share {
-		for popRegion, share := range row {
+	// Sorted: float accumulation order changes the low bits of the sums.
+	for _, origin := range detsort.Keys(r.Share) {
+		row := r.Share[origin]
+		for _, popRegion := range detsort.Keys(row) {
+			share := row[popRegion]
 			total += share
 			if popRegion == geo.PoPRegion(origin) {
 				match += share

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"vns/internal/detsort"
 	"vns/internal/geo"
 	"vns/internal/loss"
 	"vns/internal/measure"
@@ -97,7 +98,10 @@ func Fig9VideoLoss(e *Env, cfg Fig9Config) *Fig9Result {
 	pairID := uint64(0)
 	for _, client := range fig9Clients {
 		cpop := e.Net.PoP(client)
-		for region, serverCodes := range fig9Servers {
+		// Sorted: pairID assignment forks the per-pair RNG streams, so
+		// iteration order here decides every session's random draws.
+		for _, region := range detsort.Keys(fig9Servers) {
+			serverCodes := fig9Servers[region]
 			for _, server := range serverCodes {
 				spop := e.Net.PoP(server)
 				for _, path := range []PathKind{ViaTransit, ViaVNS} {

@@ -71,6 +71,7 @@ func MediaClaims(e *Env, sessions int) *MediaClaimsResult {
 	}
 	res.AudioLossPct = audioLoss / float64(sessions)
 	res.VideoLossPct = videoLoss / float64(sessions)
+	//vnslint:maprange map-to-map per-key ratio; destination is a map, order cannot escape
 	for def, n := range under10 {
 		res.JitterUnder10[def] = float64(n) / float64(sessions)
 	}

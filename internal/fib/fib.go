@@ -164,6 +164,8 @@ func (f *FIB) insert(p netip.Prefix, idx int32) {
 
 // Lookup returns the longest-prefix-match next hop for addr. It is
 // wait-free: at most four array indexes, no locks, no allocation.
+//
+//vnslint:hotpath
 func (f *FIB) Lookup(addr netip.Addr) (NextHop, bool) {
 	if addr.Is4In6() {
 		addr = addr.Unmap()

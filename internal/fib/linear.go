@@ -1,6 +1,10 @@
 package fib
 
-import "net/netip"
+import (
+	"net/netip"
+
+	"vns/internal/detsort"
+)
 
 // Linear is the reference longest-prefix-match implementation: a plain
 // scan over all entries. It exists as the trivially-correct oracle the
@@ -26,8 +30,8 @@ func NewLinear(entries []Entry) *Linear {
 		dedup[p.Masked()] = e.NextHop
 	}
 	l := &Linear{entries: make([]Entry, 0, len(dedup))}
-	for p, nh := range dedup {
-		l.entries = append(l.entries, Entry{Prefix: p, NextHop: nh})
+	for _, p := range detsort.KeysFunc(dedup, detsort.PrefixCompare) {
+		l.entries = append(l.entries, Entry{Prefix: p, NextHop: dedup[p]})
 	}
 	return l
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vns/internal/detsort"
 )
 
 // Config configures a Publisher.
@@ -144,7 +146,8 @@ func (p *Publisher) flushLocked() bool {
 		return false
 	}
 	changed := false
-	for pfx := range p.dirty {
+	// Sorted so Resolve callbacks fire in a reproducible order.
+	for _, pfx := range detsort.KeysFunc(p.dirty, detsort.PrefixCompare) {
 		nh, ok := p.cfg.Resolve(pfx)
 		old, had := p.entries[pfx]
 		switch {
@@ -167,8 +170,8 @@ func (p *Publisher) flushLocked() bool {
 
 func (p *Publisher) compileLocked() *FIB {
 	entries := make([]Entry, 0, len(p.entries))
-	for pfx, nh := range p.entries {
-		entries = append(entries, Entry{Prefix: pfx, NextHop: nh})
+	for _, pfx := range detsort.KeysFunc(p.entries, detsort.PrefixCompare) {
+		entries = append(entries, Entry{Prefix: pfx, NextHop: p.entries[pfx]})
 	}
 	p.gen++
 	f := Compile(entries, p.gen)

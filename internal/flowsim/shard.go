@@ -32,6 +32,8 @@ type shard struct {
 }
 
 // stepShard runs one epoch for one shard at simulated time now.
+//
+//vnslint:hotpath
 func (e *Engine) stepShard(s *shard, now float64) {
 	dt := now - s.lastAt
 	prev := s.lastAt
@@ -287,8 +289,12 @@ func (e *Engine) processOverlay(g *group, now float64, total uint64, a *batchAll
 			// path; the causes are debited loss-first (duplication is
 			// loss protection). Link counters keep the raw drops — the
 			// repair happens end-to-end, not on the wire.
+			// A fixed-size array, not a slice literal: this runs per
+			// group per epoch on the hot path, and []*uint64{...} would
+			// heap-allocate its backing array each time (hotalloc).
+			causes := [3]*uint64{&dropLoss, &dropQueue, &dropAdmin}
 			r := repaired
-			for _, c := range []*uint64{&dropLoss, &dropQueue, &dropAdmin} {
+			for _, c := range causes {
 				take := r
 				if *c < take {
 					take = *c

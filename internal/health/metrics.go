@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"vns/internal/detsort"
 	"vns/internal/measure"
 	"vns/internal/telemetry"
 )
@@ -206,14 +207,17 @@ func (r *Registry) Percentile(name string, q float64) float64 {
 func (r *Registry) Render() string {
 	r.mu.Lock()
 	counters := make(map[string]*telemetry.Counter, len(r.counters))
+	//vnslint:maprange map-to-map snapshot copy; destination is a map, order cannot escape
 	for n, c := range r.counters {
 		counters[n] = c
 	}
 	gauges := make(map[string]*telemetry.Gauge, len(r.gauges))
+	//vnslint:maprange map-to-map snapshot copy; destination is a map, order cannot escape
 	for n, g := range r.gauges {
 		gauges[n] = g
 	}
 	samples := make(map[string]*telemetry.Reservoir, len(r.samples))
+	//vnslint:maprange map-to-map snapshot copy; destination is a map, order cannot escape
 	for n, s := range r.samples {
 		samples[n] = s
 	}
@@ -226,8 +230,8 @@ func (r *Registry) Render() string {
 	for name, g := range gauges {
 		lines = append(lines, fmt.Sprintf("%s %g", name, g.Value()))
 	}
-	for name, res := range samples {
-		xs := res.Snapshot()
+	for _, name := range detsort.Keys(samples) {
+		xs := samples[name].Snapshot()
 		if len(xs) == 0 {
 			continue
 		}

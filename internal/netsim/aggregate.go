@@ -48,6 +48,8 @@ type AggregateResult struct {
 // simulated time now and returns the batch outcome. It must be called
 // from the simulation goroutine (it mutates the link's fluid queue
 // state), with non-decreasing now across calls.
+//
+//vnslint:hotpath
 func (l *Link) TransitAggregate(now Time, pkts uint64, size int) AggregateResult {
 	var res AggregateResult
 	if pkts == 0 {
@@ -64,7 +66,11 @@ func (l *Link) TransitAggregate(now Time, pkts uint64, size int) AggregateResult
 
 	// Deterministic loss with fractional carry.
 	if l.Loss != nil {
-		rate := l.Loss.Rate(float64(now))
+		// Dynamic dispatch hotalloc cannot chase: every LossModel in the
+		// tree (ConstantLoss, BurstLoss, schedule-driven) is pure float
+		// arithmetic over receiver fields.
+		rate := l.Loss.Rate(float64(now)) //vnslint:hotalloc
+
 		if rate > 0 {
 			if rate > 1 {
 				rate = 1

@@ -310,6 +310,10 @@ func (t *Table) Lookup(addr netip.Addr) *Route {
 	}
 	var best *Route
 	bestBits := -1
+	// Two distinct prefixes of equal length cannot both contain addr,
+	// so the strict > comparison admits exactly one winner regardless
+	// of iteration order.
+	//vnslint:maprange max over unique Bits(); order cannot change the winner
 	for p, e := range t.entries {
 		if e.best == nil || !p.Contains(addr) {
 			continue

@@ -14,6 +14,8 @@ import (
 	"io/fs"
 	"sort"
 	"strings"
+
+	"vns/internal/detsort"
 )
 
 //go:embed specs/*.json
@@ -86,14 +88,16 @@ type AdaptiveSpec struct {
 }
 
 func (a *AdaptiveSpec) validate() error {
-	for name, v := range map[string]float64{
+	fields := map[string]float64{
 		"intervalSec": a.IntervalSec, "halfLifeSec": a.HalfLifeSec,
 		"applyMarginMs": a.ApplyMarginMs, "releaseMarginMs": a.ReleaseMarginMs,
 		"stalenessSec": a.StalenessSec, "penaltyPerFlap": a.PenaltyPerFlap,
 		"penaltyHalfLifeSec": a.PenaltyHalfLifeSec,
 		"suppressThreshold":  a.SuppressThreshold, "reuseThreshold": a.ReuseThreshold,
-	} {
-		if v < 0 {
+	}
+	// Sorted so two bad fields always report the same one first.
+	for _, name := range detsort.Keys(fields) {
+		if fields[name] < 0 {
 			return fmt.Errorf("adaptive: negative %s", name)
 		}
 	}
@@ -141,13 +145,15 @@ type FlowsSpec struct {
 }
 
 func (f *FlowsSpec) validate() error {
-	for name, v := range map[string]float64{
+	fields := map[string]float64{
 		"epochSec": f.EpochSec, "maxSkewMs": f.MaxSkewMs,
 		"maxReorderMs": f.MaxReorderMs, "tailMs": f.TailMs,
 		"offloadBelowMs": f.OffloadBelowMs, "reclaimAboveMs": f.ReclaimAboveMs,
 		"dwellSec": f.DwellSec, "halfLifeSec": f.HalfLifeSec,
-	} {
-		if v < 0 {
+	}
+	// Sorted so two bad fields always report the same one first.
+	for _, name := range detsort.Keys(fields) {
+		if fields[name] < 0 {
 			return fmt.Errorf("flows: negative %s", name)
 		}
 	}

@@ -35,9 +35,13 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//vnslint:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds d.
+//
+//vnslint:hotpath
 func (c *Counter) Add(d uint64) { c.v.Add(d) }
 
 // Value returns the current count.

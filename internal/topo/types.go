@@ -150,6 +150,7 @@ func (t *Topology) PrefixInfoFor(p netip.Prefix) (*PrefixInfo, bool) {
 // NumLinks returns the number of undirected relationship edges.
 func (t *Topology) NumLinks() int {
 	n := 0
+	//vnslint:maprange commutative integer sum; order cannot escape
 	for _, a := range t.ASes {
 		n += len(a.Customers) + len(a.Peers)
 	}
@@ -160,6 +161,7 @@ func (t *Topology) NumLinks() int {
 
 func (t *Topology) numPeerEdges() int {
 	n := 0
+	//vnslint:maprange commutative integer sum; order cannot escape
 	for _, a := range t.ASes {
 		n += len(a.Peers)
 	}

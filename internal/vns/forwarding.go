@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vns/internal/core"
+	"vns/internal/detsort"
 	"vns/internal/fib"
 	"vns/internal/media"
 	"vns/internal/netsim"
@@ -130,10 +131,11 @@ func (f *Forwarding) RecompileAll() {
 }
 
 // Invalidate marks one prefix dirty at every PoP. It is the
-// rr.OnChange callback, and may be called directly.
+// rr.OnChange callback, and may be called directly. PoPs are visited
+// in id order so debounce timers arm in a reproducible sequence.
 func (f *Forwarding) Invalidate(prefix netip.Prefix) {
-	for _, pub := range f.pubs {
-		pub.Invalidate(prefix)
+	for _, id := range detsort.Keys(f.pubs) {
+		f.pubs[id].Invalidate(prefix)
 	}
 }
 
@@ -144,16 +146,16 @@ func (f *Forwarding) Invalidate(prefix netip.Prefix) {
 // (the Publisher's no-spurious-churn fast path).
 func (f *Forwarding) InvalidateAll() {
 	u := f.universe()
-	for _, pub := range f.pubs {
-		pub.Invalidate(u...)
+	for _, id := range detsort.Keys(f.pubs) {
+		f.pubs[id].Invalidate(u...)
 	}
 }
 
 // Flush forces every pending recompile now (useful with a non-zero
 // debounce when a test or shutdown needs a consistent state).
 func (f *Forwarding) Flush() {
-	for _, pub := range f.pubs {
-		pub.Flush()
+	for _, id := range detsort.Keys(f.pubs) {
+		f.pubs[id].Flush()
 	}
 }
 

@@ -56,6 +56,7 @@ func (w *WireDeployment) AnnounceCounts() map[netip.Addr]int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	out := make(map[netip.Addr]int, len(w.counts))
+	//vnslint:maprange map-to-map snapshot copy; destination is a map, so order cannot escape
 	for k, v := range w.counts {
 		out[k] = v
 	}

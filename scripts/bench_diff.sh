@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Benchmark regression diff (ISSUE 8 satellite): compare a fresh
+# bench_snapshot.sh run against the most recent committed BENCH_*.json
+# and report per-benchmark deltas with SOFT thresholds — noisy shared
+# runners make hard ns/op gates flaky, so this script warns at modest
+# regressions and only exits nonzero past a large one. The per-package
+# BudgetTest gates (telemetry/adaptive/flowsim) remain the hard ceiling;
+# this diff tracks the trajectory between snapshots.
+#
+#   scripts/bench_diff.sh                 # baseline = newest BENCH_*.json, current = fresh run
+#   scripts/bench_diff.sh old.json        # explicit baseline, fresh current
+#   scripts/bench_diff.sh old.json new.json
+#
+# Environment:
+#   BENCH_WARN_PCT  ns/op regression that prints a warning   (default 10)
+#   BENCH_FAIL_PCT  ns/op regression that fails the script   (default 50)
+#   BENCH_TIME      passed through to bench_snapshot.sh
+#
+# allocs/op is held exactly: any increase over baseline is a failure,
+# because the hot paths are asserted allocation-free by design (see
+# hotalloc in DESIGN.md) and an alloc count cannot be "noisy".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+warn_pct=${BENCH_WARN_PCT:-10}
+fail_pct=${BENCH_FAIL_PCT:-50}
+
+old=${1:-}
+if [ -z "$old" ]; then
+  old=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+  if [ -z "$old" ]; then
+    echo "bench_diff: no committed BENCH_*.json baseline found" >&2
+    exit 2
+  fi
+fi
+
+new=${2:-}
+if [ -z "$new" ]; then
+  new=$(mktemp /tmp/bench_new.XXXXXX.json)
+  trap 'rm -f "$new"' EXIT
+  scripts/bench_snapshot.sh "$new" >&2
+fi
+
+python3 - "$old" "$new" "$warn_pct" "$fail_pct" <<'PY'
+import json, sys
+
+old_path, new_path, warn_pct, fail_pct = sys.argv[1], sys.argv[2], float(sys.argv[3]), float(sys.argv[4])
+old = json.load(open(old_path))
+new = json.load(open(new_path))
+
+def index(snap):
+    return {(b["package"], b["name"]): b for b in snap["benchmarks"]}
+
+old_ix, new_ix = index(old), index(new)
+failed = False
+print(f"baseline {old_path} ({old.get('date','?')})  vs  current {new_path} ({new.get('date','?')})")
+print(f"{'benchmark':44} {'old ns/op':>12} {'new ns/op':>12} {'delta':>8}  verdict")
+for key in [k for k in new_ix if k in old_ix]:
+    o, n = old_ix[key], new_ix[key]
+    name = f"{key[0].split('/')[-1]}/{key[1]}"
+    delta = 100.0 * (n["ns_per_op"] - o["ns_per_op"]) / o["ns_per_op"] if o["ns_per_op"] else 0.0
+    verdict = "ok"
+    if delta > fail_pct:
+        verdict, failed = f"FAIL (> {fail_pct:g}%)", True
+    elif delta > warn_pct:
+        verdict = f"warn (> {warn_pct:g}%)"
+    elif delta < -warn_pct:
+        verdict = "improved"
+    if n["allocs_per_op"] > o["allocs_per_op"]:
+        verdict, failed = f"FAIL (allocs {o['allocs_per_op']} -> {n['allocs_per_op']})", True
+    print(f"{name:44} {o['ns_per_op']:12.2f} {n['ns_per_op']:12.2f} {delta:+7.1f}%  {verdict}")
+
+for key in [k for k in old_ix if k not in new_ix]:
+    print(f"{key[0]}/{key[1]}: dropped from snapshot (schema change?)")
+    failed = True
+for key in [k for k in new_ix if k not in old_ix]:
+    print(f"{key[0]}/{key[1]}: new benchmark (no baseline)")
+
+sys.exit(1 if failed else 0)
+PY
