@@ -195,7 +195,7 @@ func main() {
 			for _, eng := range fwd.Engines() {
 				s := eng.Stats().FIB
 				pop := env.Net.PoPByID(eng.PoP())
-				log.Printf("%s last-compile=%v", fibStatusLine(pop.Code, s), s.LastCompile)
+				log.Printf("%s last-compile=%v last-delta=%v", fibStatusLine(pop.Code, s), s.LastCompile, s.LastDelta)
 			}
 			if actl != nil {
 				st := actl.Status(healthSim.Now())

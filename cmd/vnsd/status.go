@@ -11,6 +11,6 @@ import (
 // wall-clock extras like the last-compile age — so tests can golden-diff
 // the output of a virtual-clock run.
 func fibStatusLine(code string, s fib.Stats) string {
-	return fmt.Sprintf("fib %s: prefixes=%d gen=%d compiles=%d skipped=%d pending=%d",
-		code, s.Prefixes, s.Generation, s.Compiles, s.SkippedCompiles, s.Pending)
+	return fmt.Sprintf("fib %s: prefixes=%d gen=%d compiles=%d deltas=%d skipped=%d pending=%d",
+		code, s.Prefixes, s.Generation, s.Compiles, s.DeltaCompiles, s.SkippedCompiles, s.Pending)
 }

@@ -119,9 +119,13 @@ type GeoRR struct {
 
 	// Change subscribers (the forwarding plane's FIB publishers). Own
 	// lock so notification never nests inside mu: subscribers typically
-	// re-resolve prefixes, which calls back into Assign.
+	// re-resolve prefixes, which calls back into Assign. onChange
+	// subscribers get one call per prefix; onBatch subscribers get each
+	// changed set in one call, which is what lets a FIB publisher turn
+	// an UPDATE burst into a single delta publish.
 	changeMu sync.Mutex
 	onChange []func(netip.Prefix)
+	onBatch  []func([]netip.Prefix)
 
 	metrics *georrMetrics
 }
@@ -363,16 +367,35 @@ func (rr *GeoRR) OnChange(fn func(netip.Prefix)) {
 	rr.onChange = append(rr.onChange, fn)
 }
 
+// OnChangeBatch registers fn to be invoked once per change event with
+// the full set of affected prefixes, instead of once per prefix. A
+// subscriber that batches its own downstream work (a fib.Publisher
+// coalescing a burst into one delta compile, a RIB applying one
+// coalesced batch) should prefer this over OnChange: same
+// synchronous-callback contract, one fan-out per event.
+func (rr *GeoRR) OnChangeBatch(fn func([]netip.Prefix)) {
+	rr.changeMu.Lock()
+	defer rr.changeMu.Unlock()
+	rr.onBatch = append(rr.onBatch, fn)
+}
+
 // notifyChange fans prefixes out to every subscriber. Callers must not
 // hold rr.mu.
 func (rr *GeoRR) notifyChange(prefixes ...netip.Prefix) {
+	if len(prefixes) == 0 {
+		return
+	}
 	rr.changeMu.Lock()
 	fns := rr.onChange
+	batched := rr.onBatch
 	rr.changeMu.Unlock()
 	for _, fn := range fns {
 		for _, p := range prefixes {
 			fn(p)
 		}
+	}
+	for _, fn := range batched {
+		fn(prefixes)
 	}
 }
 
@@ -391,9 +414,12 @@ func (rr *GeoRR) ProcessUpdate(from netip.Addr, u bgp.Update) bgp.Update {
 	out := bgp.Update{Withdrawn: u.Withdrawn}
 	defer func() {
 		// Re-advertisement publishes FIB recompiles: every prefix this
-		// update touched is dirty for the forwarding plane.
-		rr.notifyChange(u.Withdrawn...)
-		rr.notifyChange(u.NLRI...)
+		// update touched is dirty for the forwarding plane — delivered
+		// as one event so batch subscribers coalesce the whole UPDATE.
+		touched := make([]netip.Prefix, 0, len(u.Withdrawn)+len(u.NLRI))
+		touched = append(touched, u.Withdrawn...)
+		touched = append(touched, u.NLRI...)
+		rr.notifyChange(touched...)
 	}()
 	if len(u.NLRI) == 0 {
 		return out

@@ -18,6 +18,12 @@ import (
 // rewrite to every received route, installs it in a Loc-RIB, and
 // reflects the modified route to every other peer — the wire-level
 // equivalent of the modified Quagga reflector.
+//
+// The Loc-RIB is sharded (rib.ShardedTable): each received UPDATE is
+// applied as one coalesced batch whose decision-process reruns fan out
+// across prefix-range shards, which is what keeps ingest tractable at
+// full-Internet table scale. s.mu serializes batches, preserving the
+// single-writer discipline ShardedTable requires.
 type RRServer struct {
 	rr  *GeoRR
 	cfg bgp.SessionConfig
@@ -25,7 +31,7 @@ type RRServer struct {
 
 	mu    sync.Mutex
 	peers map[netip.Addr]*bgp.Session
-	table *rib.Table
+	table *rib.ShardedTable
 	wg    sync.WaitGroup
 
 	closeOnce sync.Once
@@ -44,7 +50,7 @@ func NewRRServer(addr string, rr *GeoRR, localAS uint16, routerID netip.Addr) (*
 		cfg:   bgp.SessionConfig{LocalAS: localAS, LocalID: routerID},
 		ln:    ln,
 		peers: make(map[netip.Addr]*bgp.Session),
-		table: rib.NewTable(),
+		table: rib.NewSharded(0),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -159,16 +165,18 @@ func (s *RRServer) serveConn(conn net.Conn) {
 // stale geo-routed paths behind.
 func (s *RRServer) purgePeer(peerID netip.Addr) {
 	s.mu.Lock()
+	var ops []rib.Op
 	var gone []netip.Prefix
 	for _, p := range s.table.Prefixes() {
 		for _, r := range s.table.Candidates(p) {
 			if r.PeerID == peerID {
-				s.table.Withdraw(p, peerID, peerID)
+				ops = append(ops, rib.WithdrawOp(p, peerID, peerID))
 				gone = append(gone, p)
 				break
 			}
 		}
 	}
+	s.table.ApplyBatch(ops)
 	targets := make([]*bgp.Session, 0, len(s.peers))
 	for _, id := range detsort.KeysFunc(s.peers, netip.Addr.Compare) {
 		targets = append(targets, s.peers[id])
@@ -189,11 +197,14 @@ func (s *RRServer) purgePeer(peerID netip.Addr) {
 	}
 }
 
-// handleUpdate processes one UPDATE from an egress router: withdraws
-// are removed from the Loc-RIB and propagated; announcements get the
-// geo local-pref, enter the Loc-RIB, and are reflected to all other
-// peers (splitting multi-prefix NLRI so each prefix geolocates
-// independently).
+// handleUpdate processes one UPDATE from an egress router as a single
+// coalesced batch: withdraws and announcements land in the sharded
+// Loc-RIB through one ApplyBatch (withdraw ops first, so an
+// announce+withdraw of the same prefix in one UPDATE resolves the way
+// sequential RFC 4271 processing would), then withdrawals whose best
+// path actually changed are propagated, and announcements get the geo
+// local-pref and are reflected to all other peers (splitting
+// multi-prefix NLRI so each prefix geolocates independently).
 func (s *RRServer) handleUpdate(from netip.Addr, u bgp.Update) {
 	// Reflection loop check (RFC 4456 §8).
 	if u.Attrs.HasClusterLoop(s.cfg.LocalID) {
@@ -201,23 +212,38 @@ func (s *RRServer) handleUpdate(from netip.Addr, u bgp.Update) {
 	}
 	var outs []bgp.Update
 	s.mu.Lock()
+	ops := make([]rib.Op, 0, len(u.Withdrawn)+len(u.NLRI))
 	for _, w := range u.Withdrawn {
-		if s.table.Withdraw(w, from, from) {
-			outs = append(outs, bgp.Update{Withdrawn: []netip.Prefix{w}})
-		}
+		ops = append(ops, rib.WithdrawOp(w, from, from))
 	}
+	geoOuts := make([]bgp.Update, 0, len(u.NLRI))
 	for _, p := range u.NLRI {
 		single := bgp.Update{Attrs: u.Attrs, NLRI: []netip.Prefix{p}}
 		out := s.rr.ProcessUpdate(from, single)
-		s.table.Upsert(&rib.Route{
+		ops = append(ops, rib.Announce(&rib.Route{
 			Prefix:   p,
 			Attrs:    out.Attrs,
 			PeerAS:   u.Attrs.FirstAS(),
 			PeerID:   from,
 			PeerAddr: from,
-		})
-		outs = append(outs, out)
+		}))
+		geoOuts = append(geoOuts, out)
 	}
+	changed := s.table.ApplyBatch(ops)
+	bestChanged := make(map[netip.Prefix]bool, len(changed))
+	for _, p := range changed {
+		bestChanged[p] = true
+	}
+	for _, w := range u.Withdrawn {
+		// Same gating as the sequential path: only a withdrawal that
+		// actually moved the best path propagates. An announce of the
+		// same prefix later in this UPDATE supersedes the withdrawal in
+		// the batch, and its reflection below carries the news.
+		if bestChanged[w] {
+			outs = append(outs, bgp.Update{Withdrawn: []netip.Prefix{w}})
+		}
+	}
+	outs = append(outs, geoOuts...)
 	targets := make([]*bgp.Session, 0, len(s.peers))
 	for _, id := range detsort.KeysFunc(s.peers, netip.Addr.Compare) {
 		if id != from {

@@ -92,6 +92,64 @@ func BenchmarkFIBLookupParallel(b *testing.B) {
 	<-done
 }
 
+// internetTable builds a ~400k-prefix entry set shaped like a full
+// Internet table: dense /24 coverage under a handful of /8s plus /16
+// covers, concentrated so the trie's node count stays realistic.
+func internetTable() []Entry {
+	entries := make([]Entry, 0, 400_000)
+	for a := 10; a < 16; a++ { // 6 /8s × 65536 /24s ≈ 393k
+		for b := 0; b < 256; b++ {
+			entries = append(entries, Entry{
+				Prefix:  netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(a), byte(b), 0, 0}), 16),
+				NextHop: nh(1 + (a+b)%11),
+			})
+			for c := 0; c < 256; c++ {
+				entries = append(entries, Entry{
+					Prefix:  netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(a), byte(b), byte(c), 0}), 24),
+					NextHop: nh(1 + (a+b+c)%11),
+				})
+			}
+		}
+	}
+	return entries
+}
+
+// BenchmarkFIBDeltaPatch measures a single-prefix churn event against a
+// full-Internet-scale (~400k prefix) table published as a copy-on-write
+// delta — the paper-scale steady-state cost the delta compiler exists
+// for. The acceptance bar is sub-millisecond per publish; compare
+// BenchmarkFIBFullCompile400k for what each event would cost without it.
+func BenchmarkFIBDeltaPatch(b *testing.B) {
+	entries := internetTable()
+	cur := Compile(entries, 1)
+	b.ReportMetric(float64(cur.Size()), "prefixes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Flap one /24's next hop; rotate across the table so patches hit
+		// fresh paths rather than one warm node.
+		e := entries[i%len(entries)]
+		cur = cur.Delta([]Patch{{Prefix: e.Prefix, Install: true, NextHop: nh(1 + i%11), Existed: true}}, uint64(i+2))
+	}
+	b.StopTimer()
+	if d := cur.CompileDuration(); d > time.Millisecond {
+		b.Errorf("single-prefix delta publish took %v, want < 1ms", d)
+	}
+	b.ReportMetric(float64(cur.CompileDuration().Nanoseconds()), "ns/publish")
+}
+
+// BenchmarkFIBFullCompile400k is the delta patch's foil: a from-scratch
+// build of the same ~400k-prefix table, i.e. the per-churn-event cost
+// before delta compilation existed.
+func BenchmarkFIBFullCompile400k(b *testing.B) {
+	entries := internetTable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compile(entries, uint64(i))
+	}
+}
+
 // BenchmarkPublisherInvalidate measures one incremental dirty-prefix
 // recompile cycle (resolve + rebuild + swap) on a 100k-prefix table.
 func BenchmarkPublisherInvalidate(b *testing.B) {

@@ -1,0 +1,421 @@
+package fib
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"vns/internal/detsort"
+	"vns/internal/loss"
+)
+
+// modelPatches diffs a prefix→next-hop model across a mutation batch
+// into the sorted Patch list the Publisher would emit: one patch per
+// prefix whose resolution changed, withdrawals carrying the cover
+// computed against the post-batch model. before is the pre-batch state,
+// after the post-batch state, touched the set of prefixes the batch
+// named (canonical/masked).
+func modelPatches(before, after map[netip.Prefix]NextHop, touched map[netip.Prefix]struct{}) []Patch {
+	patches := make([]Patch, 0, len(touched))
+	for _, pfx := range detsort.KeysFunc(touched, detsort.PrefixCompare) {
+		nh, now := after[pfx]
+		old, was := before[pfx]
+		switch {
+		case now && (!was || old != nh):
+			patches = append(patches, Patch{Prefix: pfx, Install: true, NextHop: nh, Existed: was})
+		case !now && was:
+			p := Patch{Prefix: pfx, Existed: true}
+			p.Cover, p.CoverBits = coverOf(after, pfx)
+			patches = append(patches, p)
+		}
+	}
+	return patches
+}
+
+func entriesOf(m map[netip.Prefix]NextHop) []Entry {
+	entries := make([]Entry, 0, len(m))
+	for _, p := range detsort.KeysFunc(m, detsort.PrefixCompare) {
+		entries = append(entries, Entry{Prefix: p, NextHop: m[p]})
+	}
+	return entries
+}
+
+// lastAddrOf returns the highest address inside an IPv4 prefix — the
+// far corner of its span, where off-by-one patch bugs live.
+func lastAddrOf(p netip.Prefix) netip.Addr {
+	a := p.Addr().As4()
+	bits := p.Bits()
+	for i := 0; i < 4; i++ {
+		keep := bits - i*8
+		switch {
+		case keep <= 0:
+			a[i] = 0xFF
+		case keep < 8:
+			a[i] |= 0xFF >> keep
+		}
+	}
+	return netip.AddrFrom4(a)
+}
+
+// checkDeltaEquiv asserts the delta-patched trie is lookup-equivalent
+// to a from-scratch compile of the same model: exhaustive probes at
+// every model prefix's first and last address plus sampled random
+// addresses, and exact Size().
+func checkDeltaEquiv(t *testing.T, got *FIB, model map[netip.Prefix]NextHop, rng *loss.RNG, tag string) {
+	t.Helper()
+	ref := NewLinear(entriesOf(model))
+	if got.Size() != len(model) {
+		t.Fatalf("%s: Size() = %d, want %d", tag, got.Size(), len(model))
+	}
+	probe := func(addr netip.Addr) {
+		gotNH, gotOK := got.Lookup(addr)
+		wantNH, wantOK := ref.Lookup(addr)
+		if gotOK != wantOK || gotNH != wantNH {
+			t.Fatalf("%s: Lookup(%v): delta=%v,%v linear=%v,%v", tag, addr, gotNH, gotOK, wantNH, wantOK)
+		}
+	}
+	for p := range model {
+		probe(p.Addr())
+		probe(lastAddrOf(p))
+	}
+	for i := 0; i < 64; i++ {
+		probe(randomAddr(rng))
+	}
+}
+
+// TestDeltaTransitions covers each single-patch transition shape against
+// a hand-built table.
+func TestDeltaTransitions(t *testing.T) {
+	base := map[netip.Prefix]NextHop{
+		mustPrefix("10.0.0.0/8"):     nh(1),
+		mustPrefix("10.1.0.0/16"):    nh(2),
+		mustPrefix("10.1.2.0/24"):    nh(3),
+		mustPrefix("10.1.2.3/32"):    nh(4),
+		mustPrefix("192.168.0.0/20"): nh(5),
+	}
+	cases := []struct {
+		name   string
+		mutate func(m map[netip.Prefix]NextHop) netip.Prefix
+	}{
+		{"announce-new-disjoint", func(m map[netip.Prefix]NextHop) netip.Prefix {
+			p := mustPrefix("172.16.0.0/12")
+			m[p] = nh(6)
+			return p
+		}},
+		{"announce-new-covered", func(m map[netip.Prefix]NextHop) netip.Prefix {
+			p := mustPrefix("10.1.128.0/17")
+			m[p] = nh(7)
+			return p
+		}},
+		{"announce-new-covering", func(m map[netip.Prefix]NextHop) netip.Prefix {
+			// Shorter than everything installed under it: the existing
+			// more-specifics must keep winning inside their spans.
+			p := mustPrefix("10.0.0.0/7")
+			m[p] = nh(8)
+			return p
+		}},
+		{"change-nexthop", func(m map[netip.Prefix]NextHop) netip.Prefix {
+			p := mustPrefix("10.1.0.0/16")
+			m[p] = nh(9)
+			return p
+		}},
+		{"withdraw-with-cover", func(m map[netip.Prefix]NextHop) netip.Prefix {
+			p := mustPrefix("10.1.2.0/24")
+			delete(m, p)
+			return p
+		}},
+		{"withdraw-no-cover", func(m map[netip.Prefix]NextHop) netip.Prefix {
+			p := mustPrefix("192.168.0.0/20")
+			delete(m, p)
+			return p
+		}},
+		{"withdraw-under-more-specifics", func(m map[netip.Prefix]NextHop) netip.Prefix {
+			// The /16 goes away; the /24 and /32 under it must survive,
+			// and the rest of its span falls back to the /8.
+			p := mustPrefix("10.1.0.0/16")
+			delete(m, p)
+			return p
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := make(map[netip.Prefix]NextHop, len(base))
+			for p, h := range base {
+				before[p] = h
+			}
+			cur := Compile(entriesOf(before), 1)
+
+			after := make(map[netip.Prefix]NextHop, len(before))
+			for p, h := range before {
+				after[p] = h
+			}
+			touched := map[netip.Prefix]struct{}{tc.mutate(after): {}}
+			patches := modelPatches(before, after, touched)
+			if len(patches) != 1 {
+				t.Fatalf("patches = %d, want 1", len(patches))
+			}
+			got := cur.Delta(patches, 2)
+			if got.Generation() != 2 {
+				t.Errorf("generation = %d, want 2", got.Generation())
+			}
+			if got.Deltas() != 1 {
+				t.Errorf("Deltas() = %d, want 1", got.Deltas())
+			}
+			checkDeltaEquiv(t, got, after, loss.NewRNG(0xD17A), tc.name)
+
+			// The receiver must be untouched: still equivalent to its own
+			// entry set (copy-on-write, not in-place mutation).
+			checkDeltaEquiv(t, cur, before, loss.NewRNG(0xD17B), tc.name+"/receiver")
+		})
+	}
+}
+
+// TestDeltaBatch applies multi-prefix batches — including the
+// announce+withdraw-in-one-batch coalescing shape — in one Delta call.
+func TestDeltaBatch(t *testing.T) {
+	before := map[netip.Prefix]NextHop{
+		mustPrefix("10.0.0.0/8"):  nh(1),
+		mustPrefix("10.1.0.0/16"): nh(2),
+		mustPrefix("20.0.0.0/8"):  nh(3),
+	}
+	cur := Compile(entriesOf(before), 1)
+
+	after := map[netip.Prefix]NextHop{
+		mustPrefix("10.0.0.0/8"):  nh(1),
+		mustPrefix("10.2.0.0/16"): nh(4), // announced
+		mustPrefix("20.0.0.0/8"):  nh(5), // changed
+		mustPrefix("30.0.0.0/8"):  nh(6), // announced, disjoint
+		// 10.1.0.0/16 withdrawn
+	}
+	touched := map[netip.Prefix]struct{}{
+		mustPrefix("10.1.0.0/16"): {},
+		mustPrefix("10.2.0.0/16"): {},
+		mustPrefix("20.0.0.0/8"):  {},
+		mustPrefix("30.0.0.0/8"):  {},
+	}
+	got := cur.Delta(modelPatches(before, after, touched), 2)
+	checkDeltaEquiv(t, got, after, loss.NewRNG(0xBA7C), "batch")
+}
+
+// TestDeltaSharesUntouchedSubtrees pins the copy-on-write contract: a
+// patch confined to one /8 must reuse (pointer-share) the subtree of an
+// unrelated /8 rather than clone it.
+func TestDeltaSharesUntouchedSubtrees(t *testing.T) {
+	model := map[netip.Prefix]NextHop{
+		mustPrefix("10.1.2.0/24"): nh(1),
+		mustPrefix("20.3.4.0/24"): nh(2),
+	}
+	cur := Compile(entriesOf(model), 1)
+	nodesBefore := cur.Nodes()
+
+	got := cur.Delta([]Patch{{Prefix: mustPrefix("10.1.9.0/24"), Install: true, NextHop: nh(3)}}, 2)
+	if cur.root == got.root {
+		t.Fatal("root was not cloned")
+	}
+	if cur.root.child[20] != got.root.child[20] {
+		t.Error("untouched 20/8 subtree was cloned instead of shared")
+	}
+	if cur.root.child[10] == got.root.child[10] {
+		t.Error("patched 10/8 subtree is shared with the old generation")
+	}
+	// 10.1.9.0/24 lands in the existing depth-2 node under 10.1: the
+	// clone adds no nodes beyond the copied path.
+	if got.Nodes() != nodesBefore {
+		t.Errorf("Nodes() = %d, want %d (patch within existing node)", got.Nodes(), nodesBefore)
+	}
+}
+
+// TestDeltaRandomizedSequence runs long randomized churn sequences,
+// re-checking delta-vs-compile equivalence after every batch — the
+// deterministic always-on sibling of FuzzDeltaCompile.
+func TestDeltaRandomizedSequence(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		rng := loss.NewRNG(seed)
+		model := make(map[netip.Prefix]NextHop)
+		for _, e := range randomEntries(rng, 400) {
+			model[e.Prefix.Masked()] = e.NextHop
+		}
+		cur := Compile(entriesOf(model), 1)
+		gen := uint64(1)
+		for batch := 0; batch < 40; batch++ {
+			before := make(map[netip.Prefix]NextHop, len(model))
+			for p, h := range model {
+				before[p] = h
+			}
+			touched := mutateModel(rng, model, 1+int(rng.Float64()*6))
+			patches := modelPatches(before, model, touched)
+			gen++
+			cur = cur.Delta(patches, gen)
+			checkDeltaEquiv(t, cur, model, rng, "seed")
+		}
+		if cur.Deltas() != 40 {
+			t.Errorf("Deltas() = %d, want 40", cur.Deltas())
+		}
+	}
+}
+
+// mutateModel applies n random announce/withdraw/change ops to the
+// model in place and returns the touched prefix set.
+func mutateModel(rng *loss.RNG, model map[netip.Prefix]NextHop, n int) map[netip.Prefix]struct{} {
+	touched := make(map[netip.Prefix]struct{}, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.4 && len(model) > 0 {
+			k := int(rng.Float64() * float64(len(model)))
+			for p := range model {
+				if k == 0 {
+					delete(model, p)
+					touched[p] = struct{}{}
+					break
+				}
+				k--
+			}
+			continue
+		}
+		e := randomEntries(rng, 1)
+		if len(e) == 0 {
+			continue
+		}
+		p := e[0].Prefix.Masked()
+		model[p] = e[0].NextHop
+		touched[p] = struct{}{}
+	}
+	return touched
+}
+
+// TestPublisherDeltaPath drives the Publisher through its delta-eligible
+// flush path and checks the stats split between delta and full publishes.
+func TestPublisherDeltaPath(t *testing.T) {
+	routes := map[netip.Prefix]NextHop{
+		mustPrefix("10.0.0.0/8"):  nh(1),
+		mustPrefix("10.1.0.0/16"): nh(2),
+	}
+	p := NewPublisher(Config{Resolve: func(pfx netip.Prefix) (NextHop, bool) {
+		h, ok := routes[pfx]
+		return h, ok
+	}})
+	p.ResolveAll([]netip.Prefix{mustPrefix("10.0.0.0/8"), mustPrefix("10.1.0.0/16")})
+
+	// Single-prefix churn: must go through the delta path.
+	routes[mustPrefix("10.1.0.0/16")] = nh(3)
+	p.Invalidate(mustPrefix("10.1.0.0/16"))
+	s := p.Stats()
+	if s.DeltaCompiles != 1 {
+		t.Fatalf("DeltaCompiles = %d, want 1 (single-prefix churn must patch)", s.DeltaCompiles)
+	}
+	if s.Compiles != 1 {
+		t.Errorf("Compiles = %d, want 1 (only the initial ResolveAll)", s.Compiles)
+	}
+	if got, _ := p.Lookup(netip.MustParseAddr("10.1.2.3")); got.PoP != 3 {
+		t.Errorf("after delta publish: got pop%d, want 3", got.PoP)
+	}
+	if gen := p.Current().Generation(); gen != 2 {
+		t.Errorf("generation = %d, want 2", gen)
+	}
+
+	// A withdrawal via delta: span falls back to the /8.
+	delete(routes, mustPrefix("10.1.0.0/16"))
+	p.Invalidate(mustPrefix("10.1.0.0/16"))
+	if got, _ := p.Lookup(netip.MustParseAddr("10.1.2.3")); got.PoP != 1 {
+		t.Errorf("after delta withdraw: got pop%d, want 1 (cover)", got.PoP)
+	}
+	if s := p.Stats(); s.DeltaCompiles != 2 || s.Prefixes != 1 {
+		t.Errorf("after withdraw: DeltaCompiles=%d Prefixes=%d, want 2, 1", s.DeltaCompiles, s.Prefixes)
+	}
+}
+
+// TestPublisherDeltaDisabled pins the opt-out: a negative threshold must
+// route every publish through a full compile.
+func TestPublisherDeltaDisabled(t *testing.T) {
+	routes := map[netip.Prefix]NextHop{mustPrefix("10.0.0.0/8"): nh(1)}
+	p := NewPublisher(Config{
+		DeltaThreshold: -1,
+		Resolve: func(pfx netip.Prefix) (NextHop, bool) {
+			h, ok := routes[pfx]
+			return h, ok
+		},
+	})
+	p.ResolveAll([]netip.Prefix{mustPrefix("10.0.0.0/8")})
+	routes[mustPrefix("10.0.0.0/8")] = nh(2)
+	p.Invalidate(mustPrefix("10.0.0.0/8"))
+	if s := p.Stats(); s.DeltaCompiles != 0 || s.Compiles != 2 {
+		t.Errorf("DeltaCompiles=%d Compiles=%d, want 0, 2", s.DeltaCompiles, s.Compiles)
+	}
+}
+
+// TestPublisherDeltaThresholdRoutesLargeBatch pins the eligibility cut:
+// a batch over the threshold recompiles (and resets the delta counter).
+func TestPublisherDeltaThresholdRoutesLargeBatch(t *testing.T) {
+	routes := make(map[netip.Prefix]NextHop)
+	p := NewPublisher(Config{
+		Debounce: time.Hour, // flush manually
+		Resolve: func(pfx netip.Prefix) (NextHop, bool) {
+			h, ok := routes[pfx]
+			return h, ok
+		},
+	})
+	// Batch of DefaultDeltaThreshold+1 new prefixes: full compile.
+	for i := 0; i <= DefaultDeltaThreshold; i++ {
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16)
+		routes[pfx] = nh(1 + i%11)
+		p.Invalidate(pfx)
+	}
+	p.Flush()
+	if s := p.Stats(); s.Compiles != 1 || s.DeltaCompiles != 0 {
+		t.Fatalf("large batch: Compiles=%d DeltaCompiles=%d, want 1, 0", s.Compiles, s.DeltaCompiles)
+	}
+	if p.Current().Deltas() != 0 {
+		t.Errorf("Deltas() = %d, want 0 after full compile", p.Current().Deltas())
+	}
+	// One more single-prefix change: back on the delta path.
+	pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, 0, 0}), 16)
+	routes[pfx] = nh(9)
+	p.Invalidate(pfx)
+	p.Flush()
+	if s := p.Stats(); s.DeltaCompiles != 1 {
+		t.Errorf("small follow-up: DeltaCompiles = %d, want 1", s.DeltaCompiles)
+	}
+}
+
+// FuzzDeltaCompile is the delta compiler's differential oracle: from a
+// seeded random table, a randomized announce/withdraw/change sequence is
+// applied both as copy-on-write Delta patches (chained, never
+// recompiled) and to a model map; after every batch the patched trie
+// must be lookup-equivalent to a from-scratch reference over the
+// model — probed exhaustively at every prefix's first and last address
+// plus random samples — with Size() exact.
+func FuzzDeltaCompile(f *testing.F) {
+	f.Add(uint64(1), uint16(64), uint16(32))
+	f.Add(uint64(42), uint16(512), uint16(16))
+	f.Add(uint64(0xDEADBEEF), uint16(3), uint16(100))
+	f.Add(uint64(7), uint16(0), uint16(40))
+	f.Add(uint64(0xC0FFEE), uint16(2048), uint16(8))
+
+	f.Fuzz(func(t *testing.T, seed uint64, numPrefixes, numBatches uint16) {
+		if numPrefixes > 4096 {
+			numPrefixes = 4096
+		}
+		if numBatches > 256 {
+			numBatches = 256
+		}
+		rng := loss.NewRNG(seed)
+		model := make(map[netip.Prefix]NextHop)
+		for _, e := range randomEntries(rng, int(numPrefixes)) {
+			model[e.Prefix.Masked()] = e.NextHop
+		}
+		cur := Compile(entriesOf(model), 1)
+		gen := uint64(1)
+		for batch := 0; batch < int(numBatches); batch++ {
+			before := make(map[netip.Prefix]NextHop, len(model))
+			for p, h := range model {
+				before[p] = h
+			}
+			touched := mutateModel(rng, model, 1+int(rng.Float64()*8))
+			gen++
+			cur = cur.Delta(modelPatches(before, model, touched), gen)
+			if cur.Generation() != gen {
+				t.Fatalf("batch %d: generation = %d, want %d", batch, cur.Generation(), gen)
+			}
+			checkDeltaEquiv(t, cur, model, rng, "fuzz")
+		}
+	})
+}

@@ -55,13 +55,25 @@ type Entry struct {
 // node is one 8-bit-stride trie level: 256 slots, each either an
 // internal child (descend) or a leaf-pushed next-hop index. Nodes are
 // write-once during compilation and never mutated afterwards, which is
-// what makes concurrent lookups safe without synchronization.
+// what makes concurrent lookups safe without synchronization; delta
+// compiles (Delta) honor this by copy-on-write cloning every node they
+// touch into the new generation.
 type node struct {
 	child [256]*node
 	// leaf holds 1-based indexes into FIB.nexthops; 0 means no route.
 	// When child[i] is non-nil the covering route has been pushed down
-	// into the child, so leaf[i] is not consulted.
+	// into the child, so leaf[i] is not consulted by Lookup.
 	leaf [256]int32
+	// leafBits records, per slot, the length of the prefix whose
+	// next-hop index occupies leaf[i] (0 when leaf[i] == 0). Lookup
+	// never reads it; delta compiles need it to decide ownership: a
+	// patch for prefix p only overwrites slots whose current owner is
+	// no longer than p, and a withdrawal restores exactly the slots p
+	// owned to p's covering route. The invariant maintained at every
+	// slot i of a depth-d node — whether or not child[i] exists — is
+	// that (leaf[i], leafBits[i]) names the longest installed prefix of
+	// length ≤ (d+1)*8 covering the slot's address region.
+	leafBits [256]int8
 }
 
 // FIB is one immutable compiled forwarding table. All methods are safe
@@ -69,11 +81,17 @@ type node struct {
 type FIB struct {
 	root     *node
 	nexthops []NextHop
+	// nhIndex maps a next hop to its 1-based index in nexthops, so
+	// delta compiles can extend the action table without rescanning it.
+	nhIndex map[NextHop]int32
 
 	gen      uint64
 	prefixes int
 	nodes    int
 	compile  time.Duration
+	// deltas counts Delta generations since the last full Compile (0
+	// for a fresh build); the Publisher uses it to bound patch drift.
+	deltas int
 }
 
 // Compile builds a FIB from entries, tagged with the given generation.
@@ -109,20 +127,25 @@ func Compile(entries []Entry, gen uint64) *FIB {
 		return ordered[i].Prefix.Addr().Less(ordered[j].Prefix.Addr())
 	})
 
-	f := &FIB{root: &node{}, gen: gen, nodes: 1}
-	nhIndex := make(map[NextHop]int32, 64)
+	f := &FIB{root: &node{}, gen: gen, nodes: 1, nhIndex: make(map[NextHop]int32, 64)}
 	for _, e := range ordered {
-		idx, ok := nhIndex[e.NextHop]
-		if !ok {
-			f.nexthops = append(f.nexthops, e.NextHop)
-			idx = int32(len(f.nexthops))
-			nhIndex[e.NextHop] = idx
-		}
-		f.insert(e.Prefix, idx)
+		f.insert(e.Prefix, f.internNextHop(e.NextHop))
 		f.prefixes++
 	}
 	f.compile = time.Since(start) //vnslint:wallclock measures real compile cost, not simulated time
 	return f
+}
+
+// internNextHop returns nh's 1-based index in f.nexthops, appending it
+// on first sight.
+func (f *FIB) internNextHop(nh NextHop) int32 {
+	idx, ok := f.nhIndex[nh]
+	if !ok {
+		f.nexthops = append(f.nexthops, nh)
+		idx = int32(len(f.nexthops))
+		f.nhIndex[nh] = idx
+	}
+	return idx
 }
 
 // insert adds one prefix. Prefixes must arrive in non-decreasing length
@@ -144,8 +167,10 @@ func (f *FIB) insert(p netip.Prefix, idx int32) {
 			// slot applies to the whole new subtree until longer
 			// prefixes overwrite parts of it.
 			if l := n.leaf[b]; l != 0 {
+				lb := n.leafBits[b]
 				for i := range c.leaf {
 					c.leaf[i] = l
+					c.leafBits[i] = lb
 				}
 			}
 			n.child[b] = c
@@ -157,8 +182,18 @@ func (f *FIB) insert(p netip.Prefix, idx int32) {
 	// aligned run of slots.
 	span := 1 << (8 - (bits - depth*8))
 	lo := int(addr[depth]) &^ (span - 1)
+	patchSpan(n, lo, span, idx, int8(bits))
+}
+
+// patchSpan writes one prefix's next-hop index and owner length into a
+// run of leaf slots. It is the innermost write loop of both the full
+// compiler and the delta patcher, so it must stay allocation-free.
+//
+//vnslint:hotpath
+func patchSpan(n *node, lo, span int, idx int32, bits int8) {
 	for s := lo; s < lo+span; s++ {
 		n.leaf[s] = idx
+		n.leafBits[s] = bits
 	}
 }
 

@@ -22,11 +22,30 @@ type Config struct {
 	// deterministic tests want.
 	Debounce time.Duration
 	// CompileObserver, when non-nil, receives the duration of every
-	// published trie build (telemetry's compile-latency histogram). Like
-	// Resolve it runs with the Publisher's internal lock held and must
-	// not call back into the Publisher.
+	// published trie build — full compiles and delta patches alike
+	// (telemetry's compile-latency histogram). Like Resolve it runs
+	// with the Publisher's internal lock held and must not call back
+	// into the Publisher.
 	CompileObserver func(time.Duration)
+	// DeltaThreshold caps the number of changed prefixes a flush may
+	// publish as a copy-on-write delta patch (FIB.Delta) instead of a
+	// full recompile. Zero means DefaultDeltaThreshold; negative
+	// disables delta compilation entirely (every publish rebuilds).
+	// Above the threshold a full compile is both cheaper per prefix and
+	// the natural compaction point.
+	DeltaThreshold int
 }
+
+// DefaultDeltaThreshold is the changed-prefix count up to which a flush
+// patches the published trie in place of a full rebuild. Steady-state
+// churn is single-prefix; bursts past this size amortize a full compile
+// fine.
+const DefaultDeltaThreshold = 64
+
+// deltaCompactAfter bounds patch drift: after this many consecutive
+// delta generations the next publish recompiles from scratch, pruning
+// nodes orphaned by withdrawals (a patched trie never frees them).
+const deltaCompactAfter = 4096
 
 // Stats is a Publisher's observable state, for operational exposure
 // (cmd/vnsd) and tests.
@@ -37,11 +56,16 @@ type Stats struct {
 	Prefixes int
 	// LastCompile is the duration of the most recent trie build.
 	LastCompile time.Duration
-	// Compiles counts trie builds; SkippedCompiles counts flushes whose
-	// dirty prefixes all resolved to unchanged next hops, so no rebuild
-	// was needed (the no-spurious-churn fast path).
+	// Compiles counts full trie builds; DeltaCompiles counts publishes
+	// that patched the current trie copy-on-write instead (FIB.Delta);
+	// SkippedCompiles counts flushes whose dirty prefixes all resolved
+	// to unchanged next hops, so no publish was needed (the
+	// no-spurious-churn fast path).
 	Compiles        uint64
+	DeltaCompiles   uint64
 	SkippedCompiles uint64
+	// LastDelta is the duration of the most recent delta patch.
+	LastDelta time.Duration
 	// Pending is the number of dirty prefixes awaiting the next flush.
 	Pending int
 }
@@ -145,27 +169,87 @@ func (p *Publisher) flushLocked() bool {
 	if len(p.dirty) == 0 {
 		return false
 	}
-	changed := false
-	// Sorted so Resolve callbacks fire in a reproducible order.
+	patches := make([]Patch, 0, 8)
+	// Sorted so Resolve callbacks fire in a reproducible order — and so
+	// the patch batch applies covers before the prefixes they contain
+	// (PrefixCompare orders a covering prefix ahead of its contents).
 	for _, pfx := range detsort.KeysFunc(p.dirty, detsort.PrefixCompare) {
 		nh, ok := p.cfg.Resolve(pfx)
 		old, had := p.entries[pfx]
 		switch {
 		case ok && (!had || old != nh):
 			p.entries[pfx] = nh
-			changed = true
+			patches = append(patches, Patch{Prefix: pfx, Install: true, NextHop: nh, Existed: had})
 		case !ok && had:
 			delete(p.entries, pfx)
-			changed = true
+			patches = append(patches, Patch{Prefix: pfx, Existed: true})
 		}
 	}
 	p.dirty = make(map[netip.Prefix]struct{})
-	if !changed {
+	if len(patches) == 0 {
 		p.stats.SkippedCompiles++
 		return false
 	}
-	p.compileLocked()
+	if p.deltaEligible(len(patches)) {
+		p.deltaLocked(patches)
+	} else {
+		p.compileLocked()
+	}
 	return true
+}
+
+// deltaEligible reports whether a flush of n changed prefixes should
+// patch the published trie instead of rebuilding it.
+func (p *Publisher) deltaEligible(n int) bool {
+	threshold := p.cfg.DeltaThreshold
+	if threshold == 0 {
+		threshold = DefaultDeltaThreshold
+	}
+	if threshold < 0 || n > threshold {
+		return false
+	}
+	// Compaction: a long run of patches accumulates orphaned nodes, so
+	// periodically pay for a fresh build.
+	return p.cur.Load().Deltas() < deltaCompactAfter
+}
+
+// deltaLocked publishes the patch batch as a copy-on-write delta of the
+// current trie. Withdrawals resolve their covering route against the
+// post-batch entry set — the authoritative answer to "what is the next
+// longest match once this prefix is gone".
+func (p *Publisher) deltaLocked(patches []Patch) *FIB {
+	for i := range patches {
+		if !patches[i].Install {
+			patches[i].Cover, patches[i].CoverBits = coverOf(p.entries, patches[i].Prefix)
+		}
+	}
+	p.gen++
+	f := p.cur.Load().Delta(patches, p.gen)
+	p.stats.DeltaCompiles++
+	p.stats.LastDelta = f.CompileDuration()
+	p.cur.Store(f)
+	if p.cfg.CompileObserver != nil {
+		//vnslint:lockheld CompileObserver is documented to run under the lock and must not call back (see Config.CompileObserver)
+		p.cfg.CompileObserver(f.CompileDuration())
+	}
+	return f
+}
+
+// coverOf returns the forwarding action and length of the longest entry
+// strictly shorter than pfx that contains it, or a zero next hop when
+// nothing covers it. Entry keys are canonical (masked) prefixes, so at
+// most pfx.Bits() map probes decide it.
+func coverOf(entries map[netip.Prefix]NextHop, pfx netip.Prefix) (NextHop, int) {
+	for bits := pfx.Bits() - 1; bits >= 0; bits-- {
+		q, err := pfx.Addr().Prefix(bits)
+		if err != nil {
+			break
+		}
+		if nh, ok := entries[q]; ok {
+			return nh, bits
+		}
+	}
+	return NextHop{}, 0
 }
 
 func (p *Publisher) compileLocked() *FIB {

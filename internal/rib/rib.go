@@ -215,6 +215,35 @@ func NewTable() *Table {
 // Len returns the number of prefixes with at least one candidate.
 func (t *Table) Len() int { return len(t.entries) }
 
+// upsert installs or replaces the candidate from r's peer without
+// rerunning selection; ApplyBatch defers reselection until a batch's
+// mutations have all landed.
+func (e *entry) upsert(r *Route) {
+	for i, existing := range e.routes {
+		if existing.PeerID == r.PeerID && existing.PeerAddr == r.PeerAddr {
+			e.routes[i] = r
+			return
+		}
+	}
+	e.routes = append(e.routes, r)
+}
+
+// remove deletes the candidate learned from the given peer, reporting
+// whether one existed. Like upsert it does not reselect.
+func (e *entry) remove(peerID, peerAddr netip.Addr) bool {
+	kept := e.routes[:0]
+	removed := false
+	for _, r := range e.routes {
+		if r.PeerID == peerID && r.PeerAddr == peerAddr {
+			removed = true
+			continue
+		}
+		kept = append(kept, r)
+	}
+	e.routes = kept
+	return removed
+}
+
 // Upsert installs or replaces the candidate from r's peer for r's
 // prefix, reruns selection, and reports whether the best path changed.
 func (t *Table) Upsert(r *Route) (bestChanged bool) {
@@ -223,17 +252,7 @@ func (t *Table) Upsert(r *Route) (bestChanged bool) {
 		e = &entry{}
 		t.entries[r.Prefix] = e
 	}
-	replaced := false
-	for i, existing := range e.routes {
-		if existing.PeerID == r.PeerID && existing.PeerAddr == r.PeerAddr {
-			e.routes[i] = r
-			replaced = true
-			break
-		}
-	}
-	if !replaced {
-		e.routes = append(e.routes, r)
-	}
+	e.upsert(r)
 	changed := e.reselect()
 	if m := t.metrics; m != nil {
 		m.Upserts.Inc()
@@ -254,19 +273,9 @@ func (t *Table) Withdraw(prefix netip.Prefix, peerID, peerAddr netip.Addr) (best
 	if e == nil {
 		return false
 	}
-	kept := e.routes[:0]
-	removed := false
-	for _, r := range e.routes {
-		if r.PeerID == peerID && r.PeerAddr == peerAddr {
-			removed = true
-			continue
-		}
-		kept = append(kept, r)
-	}
-	if !removed {
+	if !e.remove(peerID, peerAddr) {
 		return false
 	}
-	e.routes = kept
 	var changed bool
 	if len(e.routes) == 0 {
 		changed = e.best != nil

@@ -78,7 +78,7 @@ func TestScenarioSeedSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seed sweep is not for -short")
 	}
-	for _, name := range []string{"churn", "churn-failover", "adaptive-geo-wrong", "adaptive-flap-damp", "flows-multipath-offload"} {
+	for _, name := range []string{"churn", "churn-400k", "churn-failover", "adaptive-geo-wrong", "adaptive-flap-damp", "flows-multipath-offload"} {
 		spec, err := Load(name)
 		if err != nil {
 			t.Fatal(err)

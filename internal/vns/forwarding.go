@@ -101,8 +101,11 @@ func NewForwarding(pr *Peering, rr *core.GeoRR, cfg ForwardingConfig) *Forwardin
 		f.registerTelemetry(cfg.Telemetry)
 	}
 	// Subscribe before the initial compile so no change can fall
-	// between them.
-	rr.OnChange(f.Invalidate)
+	// between them. The batch form hands each change event's full
+	// prefix set to the publishers in one call, so a multi-prefix
+	// UPDATE costs one flush (typically one delta publish) per PoP
+	// instead of one per prefix.
+	rr.OnChangeBatch(f.InvalidateBatch)
 	f.RecompileAll()
 	return f
 }
@@ -130,12 +133,20 @@ func (f *Forwarding) RecompileAll() {
 	}
 }
 
-// Invalidate marks one prefix dirty at every PoP. It is the
-// rr.OnChange callback, and may be called directly. PoPs are visited
+// Invalidate marks one prefix dirty at every PoP. PoPs are visited
 // in id order so debounce timers arm in a reproducible sequence.
 func (f *Forwarding) Invalidate(prefix netip.Prefix) {
+	f.InvalidateBatch([]netip.Prefix{prefix})
+}
+
+// InvalidateBatch marks a set of prefixes dirty at every PoP in one
+// call per publisher. It is the rr.OnChangeBatch callback: the whole
+// batch lands in a publisher's dirty set before its flush runs, so a
+// change event costs one publish — a copy-on-write delta when the
+// batch is small — rather than one per prefix.
+func (f *Forwarding) InvalidateBatch(prefixes []netip.Prefix) {
 	for _, id := range detsort.Keys(f.pubs) {
-		f.pubs[id].Invalidate(prefix)
+		f.pubs[id].Invalidate(prefixes...)
 	}
 }
 

@@ -20,14 +20,18 @@ out=${1:-BENCH_${date_tag}.json}
 benchtime=${BENCH_TIME:-1s}
 
 # The canonical set: the flowsim hot paths, the aggregate link transit
-# they ride on, FIB lookup/compile, adaptive measurement ingest, and
-# the telemetry counter fast path.
+# they ride on, FIB lookup/compile plus the single-prefix delta patch,
+# RIB batched churn, end-to-end failover convergence, adaptive
+# measurement ingest, and the telemetry counter fast path.
 benches=(
   "./internal/flowsim BenchmarkShardStep"
   "./internal/flowsim BenchmarkControllerStep"
   "./internal/netsim BenchmarkTransitAggregate"
   "./internal/fib BenchmarkFIBLookup"
   "./internal/fib BenchmarkFIBRecompile"
+  "./internal/fib BenchmarkFIBDeltaPatch"
+  "./internal/rib BenchmarkRIBChurn"
+  ". BenchmarkFailoverConvergence"
   "./internal/adaptive BenchmarkAdaptiveIngest"
   "./internal/telemetry BenchmarkCounterAdd"
 )
