@@ -25,13 +25,17 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,table1,fig12,congruence,adaptive,repair,mediaclaims,qoe,capacity,econ,ablations,failover,flows,ribscale,scenario or all")
+	run := flag.String("run", "all", "comma-separated experiments: fig3,fig4,fig5,fig6,fig7,fig9,fig10,fig11,table1,fig12,congruence,adaptive,repair,mediaclaims,qoe,capacity,econ,ablations,failover,flows,ribscale,scenario,soak or all (soak never runs under all)")
 	seed := flag.Uint64("seed", 0, "random seed (0 = default)")
 	numAS := flag.Int("numas", 0, "synthetic Internet size in ASes (0 = default 3000)")
 	days := flag.Int("days", 0, "measurement days for fig9/fig10/fig11/fig12/table1 (0 = defaults)")
 	requests := flag.Int("requests", 0, "anycast requests for fig7 (0 = 60000)")
 	plot := flag.Bool("plot", false, "append ASCII plots to figures that have them")
-	flows := flag.Int("flows", 0, "aggregate flow population for the flows study (0 = 1,000,000)")
+	flows := flag.Int("flows", 0, "aggregate flow population for the flows and soak studies (0 = 1,000,000)")
+	soakDur := flag.Float64("soak-duration", 0, "soak wall-clock duration in seconds (0 = 30)")
+	soakPrefixes := flag.Int("soak-prefixes", 0, "soak routing-table size in prefixes (0 = 400,000)")
+	soakScrape := flag.Float64("soak-scrape", 0, "soak metrics self-scrape interval in seconds (0 = 1)")
+	soakOut := flag.String("soak-out", "", "write soak scrapes as JSONL to this file (empty = discard)")
 	spec := flag.String("spec", "", "run only this embedded scenario spec (scenario experiment)")
 	seeds := flag.Int("seeds", 0, "scenario seed-sweep width (0 = single run per spec)")
 	events := flag.Int("events", -1, "truncate scenario timelines to the first N events (-1 = all; sweep repros use this)")
@@ -160,6 +164,38 @@ func main() {
 		return experiments.RIBScaleStudy(experiments.RIBScaleConfig{Seed: *seed}).Render()
 	})
 
+	// The soak study holds the combined churn + flow load for real wall
+	// time, so it runs only when named explicitly — never under "all".
+	// It builds its own world (registry, table, publisher, flow engine)
+	// and fails the process when a soak gate (scrape gaps, counter
+	// regressions, flow conservation, stage additivity) is violated.
+	soakFailed := false
+	if want["soak"] {
+		section("soak", func() string {
+			cfg := experiments.SoakConfig{
+				Prefixes:          *soakPrefixes,
+				Flows:             *flows,
+				DurationSec:       *soakDur,
+				ScrapeIntervalSec: *soakScrape,
+				Seed:              *seed,
+			}
+			if *soakOut != "" {
+				f, err := os.Create(*soakOut)
+				if err != nil {
+					soakFailed = true
+					return fmt.Sprintf("soak: FAIL cannot open -soak-out: %v", err)
+				}
+				defer f.Close()
+				cfg.Out = f
+			}
+			r := experiments.SoakStudy(cfg)
+			if !r.Passed() {
+				soakFailed = true
+			}
+			return r.Render()
+		})
+	}
+
 	section("ablations", func() string {
 		return experiments.AblationBestExternal(env()).Render() + "\n" +
 			experiments.AblationLocalPref(env()).Render() + "\n" +
@@ -221,7 +257,7 @@ func main() {
 	})
 
 	fmt.Fprintf(os.Stderr, "all requested experiments done in %v\n", time.Since(start).Round(time.Millisecond))
-	if scenarioFailed {
+	if scenarioFailed || soakFailed {
 		os.Exit(1)
 	}
 }

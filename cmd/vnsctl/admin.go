@@ -58,10 +58,16 @@ func runTrace(addr string, args []string, timeout time.Duration) int {
 		fmt.Fprintln(os.Stderr, "usage: vnsctl trace [FROM_POP DST_ADDR]")
 		return 2
 	}
-	body, err := adminGet(addr, "/trace", q, timeout)
+	body, hdr, err := adminGetHeader(addr, "/trace", q, timeout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vnsctl: %v\n", err)
 		return 1
+	}
+	// Surface ring evictions on stderr so stdout stays valid JSONL: a
+	// nonzero dropped count means the dump has holes burst traffic
+	// evicted before it could be read.
+	if d := hdr.Get("X-Trace-Dropped"); d != "" && d != "0" {
+		fmt.Fprintf(os.Stderr, "vnsctl: trace dropped=%s spans evicted from the ring before this dump\n", d)
 	}
 	fmt.Print(body)
 	return 0
@@ -105,19 +111,27 @@ func runFlows(addr string, args []string, timeout time.Duration) int {
 }
 
 func adminGet(addr, path string, q url.Values, timeout time.Duration) (string, error) {
+	body, _, err := adminGetHeader(addr, path, q, timeout)
+	return body, err
+}
+
+// adminGetHeader is adminGet returning the response headers too, for
+// endpoints that carry metadata out of band of the body (the /trace
+// dropped-span count).
+func adminGetHeader(addr, path string, q url.Values, timeout time.Duration) (string, http.Header, error) {
 	u := url.URL{Scheme: "http", Host: addr, Path: path, RawQuery: q.Encode()}
 	client := &http.Client{Timeout: timeout}
 	resp, err := client.Get(u.String())
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("%s: %s", u.String(), strings.TrimSpace(string(body)))
+		return "", nil, fmt.Errorf("%s: %s", u.String(), strings.TrimSpace(string(body)))
 	}
-	return string(body), nil
+	return string(body), resp.Header, nil
 }

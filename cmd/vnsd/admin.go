@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"net/netip"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,6 +42,9 @@ func newAdminMux(reg *telemetry.Registry, tr *telemetry.Tracer, fwd *vns.Forward
 	})
 
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		// Ring evictions are otherwise silent; the header lets clients
+		// (vnsctl trace) tell a quiet system from a span dump with holes.
+		w.Header().Set("X-Trace-Dropped", strconv.FormatUint(tr.Dropped(), 10))
 		from, dst := r.URL.Query().Get("from"), r.URL.Query().Get("dst")
 		if from == "" && dst == "" {
 			w.Header().Set("Content-Type", "application/x-ndjson")

@@ -132,6 +132,17 @@ func TestAdminTraceRoute(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(dump, `"layer":"trace"`) {
 		t.Errorf("/trace dump status=%d missing spans:\n%s", code, dump)
 	}
+
+	// Every /trace response carries the ring's eviction count out of
+	// band, so vnsctl can warn when a dump has holes.
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Dropped"); got != "0" {
+		t.Errorf("X-Trace-Dropped = %q, want \"0\" on an unevicted ring", got)
+	}
 }
 
 func TestAdminAdaptive(t *testing.T) {

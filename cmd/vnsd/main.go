@@ -81,8 +81,23 @@ func main() {
 
 	// Compile the per-PoP forwarding plane and keep it subscribed to the
 	// reflector: management overrides and re-advertisements trigger
-	// debounced incremental FIB recompiles.
-	fwd := env.Forwarding(vns.ForwardingConfig{Debounce: 50 * time.Millisecond, Tracer: tracer})
+	// debounced incremental FIB recompiles. Convergence stages run on
+	// wall time (the families are volatile — rendered on /metrics but
+	// excluded from deterministic snapshots), unlike the tracer's
+	// simulated clock.
+	startedAt := time.Now() //vnslint:wallclock convergence stage latencies measure real compute
+	fwd := env.Forwarding(vns.ForwardingConfig{
+		Debounce: 50 * time.Millisecond,
+		Tracer:   tracer,
+		ConvergenceClock: func() float64 {
+			return time.Since(startedAt).Seconds() //vnslint:wallclock convergence stage latencies measure real compute
+		},
+	})
+	env.Telemetry.MarkVolatile(telemetry.ConvVolatileFamilies...)
+	// The reflector joins the same event space: every UPDATE batch it
+	// ingests becomes an "update" convergence event whose compiles the
+	// publishers attribute back through the event ID.
+	w.RR.SetConvergence(fwd.Convergence())
 	log.Printf("forwarding plane: %d per-PoP FIBs compiled", len(fwd.Engines()))
 
 	// Measured-delay adaptive routing: probe rounds ride the health
@@ -100,6 +115,7 @@ func main() {
 			Probe:       env.AdaptiveProbe(),
 			Sink:        env.RR,
 			Telemetry:   env.Telemetry,
+			Convergence: fwd.Convergence(),
 		})
 		tracks := env.AdaptiveTracks()
 		for _, tr := range tracks {
@@ -196,6 +212,9 @@ func main() {
 				s := eng.Stats().FIB
 				pop := env.Net.PoPByID(eng.PoP())
 				log.Printf("%s last-compile=%v last-delta=%v", fibStatusLine(pop.Code, s), s.LastCompile, s.LastDelta)
+			}
+			if conv := fwd.Convergence(); conv != nil && conv.Events() > 0 {
+				log.Printf("%s%s", convStatusLine(conv), convQuantileSuffix(conv))
 			}
 			if actl != nil {
 				st := actl.Status(healthSim.Now())

@@ -2,8 +2,10 @@ package main
 
 import (
 	"fmt"
+	"strings"
 
 	"vns/internal/fib"
+	"vns/internal/telemetry"
 )
 
 // fibStatusLine renders one PoP's FIB counters for the periodic status
@@ -13,4 +15,27 @@ import (
 func fibStatusLine(code string, s fib.Stats) string {
 	return fmt.Sprintf("fib %s: prefixes=%d gen=%d compiles=%d deltas=%d skipped=%d pending=%d",
 		code, s.Prefixes, s.Generation, s.Compiles, s.DeltaCompiles, s.SkippedCompiles, s.Pending)
+}
+
+// convStatusLine renders the convergence event and per-stage
+// observation counts — the deterministic half of the convergence status
+// log, same split as fibStatusLine.
+func convStatusLine(c *telemetry.Convergence) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "convergence: events=%d", c.Events())
+	for _, s := range telemetry.ConvStages {
+		fmt.Fprintf(&b, " %s=%d", s, c.StageCount(s))
+	}
+	return b.String()
+}
+
+// convQuantileSuffix renders the wall-clock p50/p99 stage latencies the
+// caller appends after convStatusLine.
+func convQuantileSuffix(c *telemetry.Convergence) string {
+	var b strings.Builder
+	for _, s := range telemetry.ConvStages {
+		fmt.Fprintf(&b, " %s_p50=%.1fus %s_p99=%.1fus",
+			s, c.StageQuantile(s, 0.5)*1e6, s, c.StageQuantile(s, 0.99)*1e6)
+	}
+	return b.String()
 }

@@ -10,10 +10,45 @@ import (
 	"testing"
 
 	"vns/internal/experiments"
+	"vns/internal/telemetry"
 	"vns/internal/vns"
 )
 
 var update = flag.Bool("update", false, "regenerate golden files")
+
+// TestConvStatusLine pins the convergence status-line split: the count
+// half is deterministic (golden-safe), the quantile suffix carries the
+// wall-clock latencies.
+func TestConvStatusLine(t *testing.T) {
+	reg := telemetry.New()
+	clock := 0.0
+	conv := telemetry.NewConvergence(reg, nil, func() float64 { return clock })
+
+	ev := conv.Begin(telemetry.ConvFailover)
+	m := ev.Mark()
+	clock += 0.002
+	ev.Stage(telemetry.StageGeoRR, m)
+	m = ev.Mark()
+	clock += 0.001
+	ev.StageExclusive(telemetry.StageForwarding, m)
+	ev.Finish()
+
+	want := "convergence: events=1 ingest=0 select=0 georr=1 fib_compile=0 forwarding=1"
+	if got := convStatusLine(conv); got != want {
+		t.Errorf("convStatusLine:\n got %q\nwant %q", got, want)
+	}
+	suffix := convQuantileSuffix(conv)
+	for _, s := range telemetry.ConvStages {
+		if !strings.Contains(suffix, " "+s+"_p50=") || !strings.Contains(suffix, " "+s+"_p99=") {
+			t.Errorf("quantile suffix missing stage %s: %q", s, suffix)
+		}
+	}
+	// The 2ms observation lands in the (1ms, 2.5ms] bucket; p50
+	// interpolates to its midpoint.
+	if !strings.Contains(suffix, "georr_p50=1750.0us") {
+		t.Errorf("georr p50 not rendered from the 2ms stage: %q", suffix)
+	}
+}
 
 // TestFIBStatusGolden drives a real (small) deployment through a drain
 // and restore and golden-diffs the daemon's per-PoP FIB status lines.

@@ -53,6 +53,12 @@ type Config struct {
 	// Nil keeps the registry untouched (and existing telemetry digests
 	// byte-stable).
 	Telemetry *telemetry.Registry
+	// Convergence, when non-nil, is the deployment's shared convergence
+	// span layer (vns.Forwarding.Convergence()): every probe round that
+	// changes at least one override becomes an "override" event whose
+	// forwarding-stage latency covers the sink applications, with the
+	// FIB compiles they trigger attributed through the event ID.
+	Convergence *telemetry.Convergence
 }
 
 // pathRef addresses one probe target: tracks[ti].cands[ci].
@@ -328,6 +334,15 @@ func (c *Controller) Round() {
 	c.lastRoundAt = now
 	c.mu.Unlock()
 
+	if len(acts) == 0 {
+		return
+	}
+	// One "override" convergence event per round that changed routing:
+	// the sink calls below mutate the GeoRR and republish FIBs through
+	// its change notifications, and the event ID ties those compiles
+	// back here.
+	ev := c.cfg.Convergence.Begin(telemetry.ConvOverride)
+	mark := ev.Mark()
 	for _, a := range acts {
 		if a.set {
 			if err := c.cfg.Sink.SetOverride(a.prefix, a.router); err != nil && c.met != nil {
@@ -337,6 +352,8 @@ func (c *Controller) Round() {
 			c.cfg.Sink.ClearOverride(a.prefix)
 		}
 	}
+	ev.StageExclusive(telemetry.StageForwarding, mark)
+	ev.Finish()
 }
 
 // decideLocked re-evaluates one track at simulated time now and

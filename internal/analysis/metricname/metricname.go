@@ -1,7 +1,10 @@
 // Package metricname enforces the telemetry naming contract at
 // registration call sites: metric names must be snake_case with a
 // subsystem prefix ("fib_lookups_total", never "Lookups" or "lookups"),
-// and label names must be snake_case.
+// and label names must be snake_case. Tracer span vocabulary — the
+// literal layer and name passed to Record/Event — carries the same
+// snake_case rule, since dashboards group spans by those strings the
+// way they group metric families.
 //
 // The telemetry registry enforces the same shape at runtime by
 // panicking, but a misnamed metric on a rarely-exercised path only
@@ -36,6 +39,16 @@ var registrars = map[string]int{
 	"RegisterFunc": -1,
 }
 
+// spanEmitters are the telemetry.Tracer methods whose literal layer and
+// name arguments (indexes 1 and 2) form the span vocabulary. Spans are
+// grouped and grepped by these strings exactly like metric families —
+// the convergence layer's stage spans join its stage histograms in
+// dashboards — so they carry the same snake_case contract.
+var spanEmitters = map[string]bool{
+	"Record": true,
+	"Event":  true,
+}
+
 // Analyzer is the metricname check.
 var Analyzer = &analysis.Analyzer{
 	Name:      "metricname",
@@ -60,6 +73,14 @@ func run(pass *analysis.Pass) error {
 			}
 			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "vns/internal/telemetry" {
+				return true
+			}
+			if spanEmitters[fn.Name()] && len(call.Args) >= 3 {
+				for _, arg := range call.Args[1:3] {
+					if s, ok := stringLit(arg); ok && !telemetry.CheckLabel(s) {
+						pass.Reportf(arg.Pos(), "span layer/name %q is not snake_case", s)
+					}
+				}
 				return true
 			}
 			labelStart, registrar := registrars[fn.Name()]

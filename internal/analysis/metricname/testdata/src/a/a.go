@@ -31,4 +31,16 @@ func register(r *telemetry.Registry) {
 	r.Counter("legacy", "suppressed")
 }
 
+// Span vocabulary: Tracer.Record/Event layer and name literals carry
+// the snake_case rule; dynamic values and attr payloads are exempt.
+func spans(tr *telemetry.Tracer) {
+	id := tr.StartTrace()
+	tr.Record(id, "convergence", "fib_compile", 0, 1)
+	tr.Event(id, "fib", "no_route", telemetry.String("result", "MISS")) // attr values unchecked
+	tr.Record(id, "Convergence", "ok_name", 0, 1)                       // want `span layer/name "Convergence" is not snake_case`
+	tr.Event(id, "fib", "no-route")                                     // want `span layer/name "no-route" is not snake_case`
+	layer := pick()
+	tr.Event(id, layer, "dynamic_ok")
+}
+
 func pick() string { return "health_dynamic_total" }

@@ -379,6 +379,16 @@ func (rr *GeoRR) OnChangeBatch(fn func([]netip.Prefix)) {
 	rr.onBatch = append(rr.onBatch, fn)
 }
 
+// NotifyChanged fans a change event out to every subscriber — the
+// exported form of the notification every management mutation performs
+// internally. The wire reflector (RRServer) uses it to deliver one
+// batched event per UPDATE after processing every NLRI through
+// ProcessUpdateQuiet, so the forwarding plane sees one invalidation
+// per UPDATE instead of one per prefix. Callers must not hold rr.mu.
+func (rr *GeoRR) NotifyChanged(prefixes ...netip.Prefix) {
+	rr.notifyChange(prefixes...)
+}
+
 // notifyChange fans prefixes out to every subscriber. Callers must not
 // hold rr.mu.
 func (rr *GeoRR) notifyChange(prefixes ...netip.Prefix) {
@@ -411,7 +421,6 @@ func (rr *GeoRR) missed() {
 // rewrite). A nil return means the update should be reflected
 // unmodified (exempt/unknown) — the caller still reflects withdraws.
 func (rr *GeoRR) ProcessUpdate(from netip.Addr, u bgp.Update) bgp.Update {
-	out := bgp.Update{Withdrawn: u.Withdrawn}
 	defer func() {
 		// Re-advertisement publishes FIB recompiles: every prefix this
 		// update touched is dirty for the forwarding plane — delivered
@@ -421,6 +430,17 @@ func (rr *GeoRR) ProcessUpdate(from netip.Addr, u bgp.Update) bgp.Update {
 		touched = append(touched, u.NLRI...)
 		rr.notifyChange(touched...)
 	}()
+	return rr.ProcessUpdateQuiet(from, u)
+}
+
+// ProcessUpdateQuiet is ProcessUpdate without the change notification:
+// a caller ingesting a whole UPDATE batch (RRServer) processes every
+// NLRI through this, then delivers one NotifyChanged for the union, so
+// the forwarding plane's per-PoP publishers flush once per UPDATE —
+// and so the convergence span's geo-assignment stage does not overlap
+// its forwarding stage.
+func (rr *GeoRR) ProcessUpdateQuiet(from netip.Addr, u bgp.Update) bgp.Update {
+	out := bgp.Update{Withdrawn: u.Withdrawn}
 	if len(u.NLRI) == 0 {
 		return out
 	}

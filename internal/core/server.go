@@ -34,6 +34,10 @@ type RRServer struct {
 	table *rib.ShardedTable
 	wg    sync.WaitGroup
 
+	// conv, when non-nil, assigns each UPDATE batch a convergence event
+	// and records its ingest/georr/select/forwarding stage latencies.
+	conv *telemetry.Convergence
+
 	closeOnce sync.Once
 }
 
@@ -69,6 +73,17 @@ func (s *RRServer) SetTelemetry(reg *telemetry.Registry) {
 	defer s.mu.Unlock()
 	s.cfg.Metrics = bgp.NewMetrics(reg)
 	s.table.SetMetrics(rib.NewMetrics(reg))
+}
+
+// SetConvergence attaches the deployment's shared convergence span
+// layer (the forwarding plane constructs it; see vns.Forwarding): every
+// subsequently received UPDATE becomes one "update" convergence event
+// whose stage latencies — op ingest, geo assignment, sharded best-path
+// selection, forwarding-plane invalidation — are recorded per batch.
+func (s *RRServer) SetConvergence(c *telemetry.Convergence) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conv = c
 }
 
 // Close shuts down the server and all sessions.
@@ -212,14 +227,22 @@ func (s *RRServer) handleUpdate(from netip.Addr, u bgp.Update) {
 	}
 	var outs []bgp.Update
 	s.mu.Lock()
+	// One convergence event per UPDATE batch; Begin under s.mu so the
+	// active event matches the batch the publishers are flushing for.
+	ev := s.conv.Begin(telemetry.ConvUpdate)
+
+	mark := ev.Mark()
 	ops := make([]rib.Op, 0, len(u.Withdrawn)+len(u.NLRI))
 	for _, w := range u.Withdrawn {
 		ops = append(ops, rib.WithdrawOp(w, from, from))
 	}
+	ev.Stage(telemetry.StageIngest, mark)
+
+	mark = ev.Mark()
 	geoOuts := make([]bgp.Update, 0, len(u.NLRI))
 	for _, p := range u.NLRI {
 		single := bgp.Update{Attrs: u.Attrs, NLRI: []netip.Prefix{p}}
-		out := s.rr.ProcessUpdate(from, single)
+		out := s.rr.ProcessUpdateQuiet(from, single)
 		ops = append(ops, rib.Announce(&rib.Route{
 			Prefix:   p,
 			Attrs:    out.Attrs,
@@ -229,7 +252,11 @@ func (s *RRServer) handleUpdate(from netip.Addr, u bgp.Update) {
 		}))
 		geoOuts = append(geoOuts, out)
 	}
+	ev.Stage(telemetry.StageGeoRR, mark)
+
+	mark = ev.Mark()
 	changed := s.table.ApplyBatch(ops)
+	ev.Stage(telemetry.StageSelect, mark)
 	bestChanged := make(map[netip.Prefix]bool, len(changed))
 	for _, p := range changed {
 		bestChanged[p] = true
@@ -244,6 +271,18 @@ func (s *RRServer) handleUpdate(from netip.Addr, u bgp.Update) {
 		}
 	}
 	outs = append(outs, geoOuts...)
+
+	// Forwarding-plane fan-out: one batched notification for the whole
+	// UPDATE (ProcessUpdateQuiet deferred it), so each PoP's publisher
+	// flushes once. Compile time inside the flushes is attributed to
+	// this event and excluded here — the stages tile the event.
+	mark = ev.Mark()
+	touched := make([]netip.Prefix, 0, len(u.Withdrawn)+len(u.NLRI))
+	touched = append(touched, u.Withdrawn...)
+	touched = append(touched, u.NLRI...)
+	s.rr.NotifyChanged(touched...)
+	ev.StageExclusive(telemetry.StageForwarding, mark)
+
 	targets := make([]*bgp.Session, 0, len(s.peers))
 	for _, id := range detsort.KeysFunc(s.peers, netip.Addr.Compare) {
 		if id != from {
@@ -251,6 +290,10 @@ func (s *RRServer) handleUpdate(from netip.Addr, u bgp.Update) {
 		}
 	}
 	s.mu.Unlock()
+	// The event ends when the FIBs are republished and the outbound set
+	// is built; reflection sends below are propagation, not local
+	// convergence.
+	ev.Finish()
 
 	for _, out := range outs {
 		for _, sess := range targets {

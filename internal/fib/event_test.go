@@ -1,0 +1,106 @@
+package fib
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"vns/internal/telemetry"
+)
+
+// These tests pin the event-ID handoff across the rib→fib boundary: the
+// routing side stamps an invalidation with the active convergence
+// event's ID, the publisher carries it to the flush, and the
+// FlushObserver reports the compile back to the span layer — which
+// attributes it only if that event is still in flight. The publisher
+// itself stays telemetry-free; the observer func is the entire contract.
+
+func eventPublisher(obs func(event uint64, patches int, delta bool, d time.Duration), debounce time.Duration) (*Publisher, map[netip.Prefix]NextHop) {
+	routes := map[netip.Prefix]NextHop{mustPrefix("10.0.0.0/8"): nh(1)}
+	p := NewPublisher(Config{
+		Debounce: debounce,
+		Resolve: func(pfx netip.Prefix) (NextHop, bool) {
+			h, ok := routes[pfx]
+			return h, ok
+		},
+		FlushObserver: obs,
+	})
+	p.ResolveAll([]netip.Prefix{mustPrefix("10.0.0.0/8")})
+	return p, routes
+}
+
+func TestPublisherEventIDReachesFlushObserver(t *testing.T) {
+	var gotEvent uint64
+	var gotPatches int
+	var gotDelta bool
+	var calls int
+	p, routes := eventPublisher(func(event uint64, patches int, delta bool, d time.Duration) {
+		calls++
+		gotEvent, gotPatches, gotDelta = event, patches, delta
+	}, 0)
+	defer p.Close()
+
+	routes[mustPrefix("10.0.0.0/8")] = nh(2)
+	p.InvalidateEvent(42, mustPrefix("10.0.0.0/8"))
+	if calls != 1 {
+		t.Fatalf("FlushObserver calls = %d, want 1", calls)
+	}
+	if gotEvent != 42 {
+		t.Errorf("observed event = %d, want 42", gotEvent)
+	}
+	if gotPatches != 1 || !gotDelta {
+		t.Errorf("observed patches=%d delta=%v, want 1 patch via delta", gotPatches, gotDelta)
+	}
+
+	// An unstamped invalidation flushes with event 0, and the previous
+	// stamp must not leak into it.
+	routes[mustPrefix("10.0.0.0/8")] = nh(3)
+	p.Invalidate(mustPrefix("10.0.0.0/8"))
+	if calls != 2 || gotEvent != 0 {
+		t.Errorf("after plain Invalidate: calls=%d event=%d, want 2, 0", calls, gotEvent)
+	}
+}
+
+// TestPublisherEventRoundTrip wires a real Convergence to the observer
+// — the deployment topology — and checks the span layer ends up with
+// the compile attributed to the right event, including the stale case
+// where a debounced flush lands after the event finished.
+func TestPublisherEventRoundTrip(t *testing.T) {
+	reg := telemetry.New()
+	clock := 0.0
+	conv := telemetry.NewConvergence(reg, nil, func() float64 { return clock })
+	p, routes := eventPublisher(func(event uint64, patches int, delta bool, d time.Duration) {
+		conv.ObserveCompileFor(event, 0.002)
+	}, 0)
+	defer p.Close()
+
+	ev := conv.Begin(telemetry.ConvUpdate)
+	routes[mustPrefix("10.0.0.0/8")] = nh(2)
+	p.InvalidateEvent(conv.ActiveID(), mustPrefix("10.0.0.0/8"))
+	total, stageSum := ev.Finish()
+	_ = total
+	if stageSum != 0.002 {
+		t.Errorf("attributed stage sum = %v, want the 2ms compile", stageSum)
+	}
+	if got := conv.StageCount(telemetry.StageFIBCompile); got != 1 {
+		t.Fatalf("fib_compile observations = %d, want 1", got)
+	}
+
+	// Debounced path: the invalidation is stamped while the event is
+	// active, but the flush only happens after Finish — the compile
+	// must NOT be attributed (it belongs to fib_compile_seconds alone).
+	p2, routes2 := eventPublisher(func(event uint64, patches int, delta bool, d time.Duration) {
+		conv.ObserveCompileFor(event, 0.002)
+	}, time.Hour)
+	defer p2.Close()
+	p2.ResolveAll([]netip.Prefix{mustPrefix("10.0.0.0/8")})
+
+	late := conv.Begin(telemetry.ConvChurn)
+	routes2[mustPrefix("10.0.0.0/8")] = nh(4)
+	p2.InvalidateEvent(conv.ActiveID(), mustPrefix("10.0.0.0/8"))
+	late.Finish()
+	p2.Flush() // debounce elapses after the event closed
+	if got := conv.StageCount(telemetry.StageFIBCompile); got != 1 {
+		t.Errorf("fib_compile observations after stale flush = %d, want still 1", got)
+	}
+}

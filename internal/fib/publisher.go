@@ -34,6 +34,15 @@ type Config struct {
 	// Above the threshold a full compile is both cheaper per prefix and
 	// the natural compaction point.
 	DeltaThreshold int
+	// FlushObserver, when non-nil, receives every published flush with
+	// the convergence event ID the dirtying InvalidateEvent carried
+	// (0 when the flush was not event-attributed), the patch count,
+	// whether the publish was a delta, and the build duration. This is
+	// how a compile is causally tied back to the routing-plane event
+	// that triggered it without fib depending on telemetry. Like
+	// Resolve it runs with the Publisher's internal lock held and must
+	// not call back into the Publisher.
+	FlushObserver func(event uint64, patches int, delta bool, d time.Duration)
 }
 
 // DefaultDeltaThreshold is the changed-prefix count up to which a flush
@@ -87,6 +96,10 @@ type Publisher struct {
 	gen     uint64
 	stats   Stats
 	closed  bool
+	// pendingEvent is the convergence event ID the next flush is
+	// attributed to: the latest nonzero ID any InvalidateEvent carried
+	// since the last flush.
+	pendingEvent uint64
 }
 
 // NewPublisher creates a Publisher that starts out publishing an empty
@@ -131,10 +144,22 @@ func (p *Publisher) ResolveAll(prefixes []netip.Prefix) *FIB {
 // happens before Invalidate returns; otherwise it is scheduled so that
 // a burst of updates triggers a single rebuild.
 func (p *Publisher) Invalidate(prefixes ...netip.Prefix) {
+	p.InvalidateEvent(0, prefixes...)
+}
+
+// InvalidateEvent is Invalidate carrying a convergence event ID: the
+// next flush reports it to Config.FlushObserver, tying the publish (and
+// its compile cost) back to the routing-plane event that caused it.
+// Event 0 leaves any earlier attribution in place, so an unattributed
+// invalidation cannot orphan a pending event's flush.
+func (p *Publisher) InvalidateEvent(event uint64, prefixes ...netip.Prefix) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return
+	}
+	if event != 0 {
+		p.pendingEvent = event
 	}
 	for _, pfx := range prefixes {
 		p.dirty[pfx] = struct{}{}
@@ -186,14 +211,22 @@ func (p *Publisher) flushLocked() bool {
 		}
 	}
 	p.dirty = make(map[netip.Prefix]struct{})
+	event := p.pendingEvent
+	p.pendingEvent = 0
 	if len(patches) == 0 {
 		p.stats.SkippedCompiles++
 		return false
 	}
-	if p.deltaEligible(len(patches)) {
-		p.deltaLocked(patches)
+	var f *FIB
+	delta := p.deltaEligible(len(patches))
+	if delta {
+		f = p.deltaLocked(patches)
 	} else {
-		p.compileLocked()
+		f = p.compileLocked()
+	}
+	if p.cfg.FlushObserver != nil {
+		//vnslint:lockheld FlushObserver is documented to run under the lock and must not call back (see Config.FlushObserver)
+		p.cfg.FlushObserver(event, len(patches), delta, f.CompileDuration())
 	}
 	return true
 }

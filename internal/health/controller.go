@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vns/internal/core"
+	"vns/internal/telemetry"
 	"vns/internal/vns"
 )
 
@@ -51,6 +52,13 @@ func (c *Controller) Apply(a, b *vns.PoP, up bool) time.Duration {
 	if !fab.SetLinkState(a, b, up) {
 		return 0
 	}
+	// One "failover" convergence event per effective liveness transition
+	// (stale events returned above and never begin one). The georr stage
+	// is the egress withdrawal/restoration sweep; the forwarding stage is
+	// the universe republish, minus the compile time the publishers
+	// attribute back through the event ID.
+	ev := c.fwd.Convergence().Begin(telemetry.ConvFailover)
+	mark := ev.Mark()
 	net := fab.Network()
 	for _, p := range [2]*vns.PoP{a, b} {
 		isolated := popIsolated(net, p)
@@ -67,8 +75,12 @@ func (c *Controller) Apply(a, b *vns.PoP, up bool) time.Duration {
 			}
 		}
 	}
+	ev.Stage(telemetry.StageGeoRR, mark)
+	mark = ev.Mark()
 	c.fwd.InvalidateAll()
 	c.fwd.Flush()
+	ev.StageExclusive(telemetry.StageForwarding, mark)
+	ev.Finish()
 	took := time.Since(start) //vnslint:wallclock measures real reconvergence compute, not simulated time
 	if c.reg != nil {
 		if up {

@@ -37,9 +37,10 @@ func (e *engine) setupAdaptive() error {
 			SuppressThreshold:  a.SuppressThreshold,
 			ReuseThreshold:     a.ReuseThreshold,
 		},
-		Probe:     e.probeRTT,
-		Sink:      e.env.RR,
-		Telemetry: e.env.Telemetry,
+		Probe:       e.probeRTT,
+		Sink:        e.env.RR,
+		Telemetry:   e.env.Telemetry,
+		Convergence: e.fwd.Convergence(),
 	})
 
 	track := func(pfx netip.Prefix) error {

@@ -369,7 +369,35 @@ func (e *engine) recordFault(a, b *vns.PoP, down bool, at float64) {
 	e.faults[[2]int{i, j}] = faultRec{down: down, at: at}
 }
 
+// convKindFor maps a scripted op to its convergence event kind, "" for
+// ops that do not mutate routing (fault injections converge through the
+// failover controller, which opens its own "failover" events).
+func convKindFor(op string) string {
+	switch op {
+	case OpAnnounceBurst, OpWithdrawBurst:
+		return telemetry.ConvChurn
+	case OpEgressDown, OpEgressUp:
+		return telemetry.ConvDrain
+	case OpForceExit, OpUnforce, OpExempt, OpUnexempt:
+		return telemetry.ConvMgmt
+	}
+	return ""
+}
+
 func (e *engine) apply(ev *Event) error {
+	// Routing-mutating ops become convergence events: the reflector
+	// mutations notify the forwarding plane inside the op, so one
+	// compile-exclusive forwarding stage plus the attributed fib_compile
+	// observations decompose it. On the virtual clock every duration is
+	// zero — the event and stage counts are what the goldens pin.
+	if kind := convKindFor(ev.Op); kind != "" {
+		ce := e.fwd.Convergence().Begin(kind)
+		mark := ce.Mark()
+		defer func() {
+			ce.StageExclusive(telemetry.StageForwarding, mark)
+			ce.Finish()
+		}()
+	}
 	now := e.sim.Now()
 	switch ev.Op {
 	case OpLinkDown, OpLinkUp:

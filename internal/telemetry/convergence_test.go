@@ -1,0 +1,250 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeClock is a manually advanced convergence clock.
+type fakeClock struct{ t float64 }
+
+func (f *fakeClock) now() float64      { return f.t }
+func (f *fakeClock) advance(d float64) { f.t += d }
+
+func TestConvergenceStageTiling(t *testing.T) {
+	r := New()
+	clk := &fakeClock{}
+	c := NewConvergence(r, nil, clk.now)
+
+	ev := c.Begin(ConvUpdate)
+	m := ev.Mark()
+	clk.advance(0.010)
+	ev.Stage(StageIngest, m)
+	m = ev.Mark()
+	clk.advance(0.020)
+	ev.Stage(StageSelect, m)
+
+	// Forwarding window containing one attributed 5ms compile: the
+	// exclusive stage must subtract it so the stages tile the event.
+	m = ev.Mark()
+	clk.advance(0.030)
+	c.ObserveCompileFor(ev.ID(), 0.005)
+	ev.StageExclusive(StageForwarding, m)
+
+	total, stageSum := ev.Finish()
+	if want := 0.060; math.Abs(total-want) > 1e-12 {
+		t.Errorf("total = %v, want %v", total, want)
+	}
+	// 10ms + 20ms + 5ms compile + (30ms − 5ms) forwarding = 60ms.
+	if math.Abs(stageSum-total) > 1e-12 {
+		t.Errorf("stage sum %v does not tile total %v", stageSum, total)
+	}
+	if got := c.StageCount(StageFIBCompile); got != 1 {
+		t.Errorf("fib_compile count = %d, want 1", got)
+	}
+	if got := c.StageQuantile(StageForwarding, 0.5); got <= 0 {
+		t.Errorf("forwarding p50 = %v, want > 0", got)
+	}
+	if got := c.Events(); got != 1 {
+		t.Errorf("events = %d, want 1", got)
+	}
+}
+
+// TestConvergenceEventIDHandoff covers the rib→fib boundary contract:
+// only the compile stamped with the active event's ID is attributed;
+// stale IDs (a debounced flush landing after Finish) and foreign IDs
+// fall through to the standalone compile family.
+func TestConvergenceEventIDHandoff(t *testing.T) {
+	r := New()
+	clk := &fakeClock{}
+	c := NewConvergence(r, nil, clk.now)
+
+	first := c.Begin(ConvChurn)
+	second := c.Begin(ConvChurn)
+	if got := c.ActiveID(); got != second.ID() {
+		t.Fatalf("ActiveID = %d, want newest event %d", got, second.ID())
+	}
+
+	c.ObserveCompileFor(first.ID(), 0.003) // superseded: not attributed
+	c.ObserveCompileFor(0, 0.003)          // unstamped flush: not attributed
+	c.ObserveCompileFor(second.ID(), 0.004)
+
+	_, stageSum := second.Finish()
+	if want := 0.004; math.Abs(stageSum-want) > 1e-12 {
+		t.Errorf("attributed stage sum = %v, want %v", stageSum, want)
+	}
+	if got := c.ActiveID(); got != 0 {
+		t.Errorf("ActiveID after Finish = %d, want 0", got)
+	}
+	c.ObserveCompileFor(second.ID(), 0.005) // after Finish: ignored
+	if got := c.StageCount(StageFIBCompile); got != 1 {
+		// Only the attributed compile reached the stage histogram: the
+		// superseded, unstamped, and post-Finish ones all fell through
+		// to the standalone compile family.
+		t.Errorf("fib_compile count = %d, want 1", got)
+	}
+	first.Finish()
+}
+
+func TestConvergenceSpans(t *testing.T) {
+	r := New()
+	tr := NewTracer(nil, 128)
+	clk := &fakeClock{}
+	c := NewConvergence(r, tr, clk.now)
+
+	ev := c.Begin(ConvFailover)
+	m := ev.Mark()
+	clk.advance(0.5)
+	ev.Stage(StageGeoRR, m)
+	m = ev.Mark()
+	clk.advance(0.25)
+	ev.StageExclusive(StageForwarding, m)
+	ev.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want parent + 2 stage children", len(spans))
+	}
+	var names []string
+	for _, s := range spans {
+		if s.Layer != "convergence" {
+			t.Errorf("span layer = %q, want convergence", s.Layer)
+		}
+		if s.Trace != spans[0].Trace {
+			t.Errorf("stage span on trace %d, want parent's %d", s.Trace, spans[0].Trace)
+		}
+		names = append(names, s.Name)
+	}
+	want := []string{ConvFailover, StageGeoRR, StageForwarding}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("span[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+
+	// The ring's eviction counter is exported once a tracer is attached.
+	if !strings.Contains(r.Render(), "trace_dropped_total 0") {
+		t.Errorf("Render missing trace_dropped_total:\n%s", r.Render())
+	}
+}
+
+func TestConvergenceNilSafe(t *testing.T) {
+	var c *Convergence
+	if ev := c.Begin(ConvUpdate); ev != nil {
+		t.Fatalf("nil Convergence.Begin = %v, want nil", ev)
+	}
+	c.ObserveCompileFor(1, 0.1)
+	if c.ActiveID() != 0 || c.Now() != 0 || c.Events() != 0 {
+		t.Error("nil Convergence accessors must return zeros")
+	}
+	if c.StageQuantile(StageIngest, 0.5) != 0 || c.StageCount(StageIngest) != 0 {
+		t.Error("nil Convergence stage accessors must return zeros")
+	}
+
+	var ev *ConvEvent
+	m := ev.Mark()
+	ev.Stage(StageIngest, m)
+	ev.StageExclusive(StageForwarding, m)
+	if ev.ID() != 0 {
+		t.Error("nil event ID must be 0")
+	}
+	if total, sum := ev.Finish(); total != 0 || sum != 0 {
+		t.Error("nil event Finish must return zeros")
+	}
+}
+
+// TestConvergenceZeroQuantilesDeterministic pins the virtual-clock
+// rendering: all-zero observations interpolate inside the first bucket,
+// so the quantile gauges are nonzero but exact — safe to pin in
+// scenario goldens.
+func TestConvergenceZeroQuantilesDeterministic(t *testing.T) {
+	r := New()
+	clk := &fakeClock{}
+	c := NewConvergence(r, nil, clk.now)
+	for i := 0; i < 100; i++ {
+		ev := c.Begin(ConvChurn)
+		m := ev.Mark()
+		ev.Stage(StageIngest, m)
+		ev.Finish()
+	}
+	if got, want := c.StageQuantile(StageIngest, 0.5), 5e-05; math.Abs(got-want) > 1e-15 {
+		t.Errorf("all-zero p50 = %v, want %v", got, want)
+	}
+	if got, want := c.StageQuantile(StageIngest, 0.99), 9.9e-05; math.Abs(got-want) > 1e-15 {
+		t.Errorf("all-zero p99 = %v, want %v", got, want)
+	}
+	if r.Render() != r.Render() {
+		t.Error("Render not deterministic across calls")
+	}
+}
+
+// TestHistogramVecConcurrentRender hammers one HistogramVec label from
+// many writers while readers render and snapshot the registry, checking
+// that every rendered _count/_sum pair is monotone over time. Under
+// -race this also proves the Observe fast path publishes safely.
+func TestHistogramVecConcurrentRender(t *testing.T) {
+	r := New()
+	vec := r.HistogramVec("hammer_stage_seconds", "", DefBuckets, "stage")
+	hs := []*Histogram{vec.With("a"), vec.With("b")}
+
+	const workers = 8
+	const iters = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := hs[w%len(hs)]
+			for i := 0; i < iters; i++ {
+				h.Observe(float64(i%1000) / 1e6)
+			}
+		}(w)
+	}
+
+	parse := func(render, sample string) float64 {
+		for _, line := range strings.Split(render, "\n") {
+			if rest, ok := strings.CutPrefix(line, sample+" "); ok {
+				v, err := strconv.ParseFloat(rest, 64)
+				if err != nil {
+					t.Errorf("bad sample %q: %v", line, err)
+				}
+				return v
+			}
+		}
+		return -1 // not rendered yet
+	}
+	var rg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			lastCount, lastSum := -1.0, -1.0
+			for i := 0; i < 100; i++ {
+				out := r.Render()
+				_ = r.Snapshot()
+				count := parse(out, `hammer_stage_seconds_count{stage="a"}`)
+				sum := parse(out, `hammer_stage_seconds_sum{stage="a"}`)
+				if count < lastCount {
+					t.Errorf("count went backwards: %v -> %v", lastCount, count)
+				}
+				if sum < lastSum {
+					t.Errorf("sum went backwards: %v -> %v", lastSum, sum)
+				}
+				lastCount, lastSum = count, sum
+			}
+		}()
+	}
+	wg.Wait()
+	rg.Wait()
+
+	var total uint64
+	for _, h := range hs {
+		total += h.Count()
+	}
+	if total != workers*iters {
+		t.Errorf("total observations = %d, want %d", total, workers*iters)
+	}
+}

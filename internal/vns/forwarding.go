@@ -38,6 +38,13 @@ type ForwardingConfig struct {
 	// Tracer, when non-nil, records cross-layer decision and media-flow
 	// spans (TraceRoute, ForwardStream).
 	Tracer *telemetry.Tracer
+	// ConvergenceClock, when non-nil, supplies timestamps for the
+	// convergence span layer instead of the tracer's clock. Daemons pass
+	// a wall-seconds adapter (and mark the latency families volatile) so
+	// stage decompositions carry real durations; simulation harnesses
+	// leave it nil and stay on the virtual clock, which keeps the
+	// families deterministic and golden-pinnable.
+	ConvergenceClock func() float64
 }
 
 // Forwarding is the deployment's forwarding plane: one fib.Publisher
@@ -59,6 +66,11 @@ type Forwarding struct {
 	fabric *L2Fabric
 
 	tracer *telemetry.Tracer
+	// conv is the deployment's shared convergence span layer (nil
+	// without telemetry): the reflector, failover controller, and
+	// adaptive controller all borrow this instance, because event-ID
+	// attribution is per-instance state.
+	conv *telemetry.Convergence
 	// Pre-resolved media flow counters (nil without telemetry).
 	mediaStreams  *telemetry.Counter
 	mediaSent     *telemetry.Counter
@@ -79,6 +91,7 @@ func NewForwarding(pr *Peering, rr *core.GeoRR, cfg ForwardingConfig) *Forwardin
 		tracer:  cfg.Tracer,
 	}
 	var compileObs func(time.Duration)
+	var flushObs func(uint64, int, bool, time.Duration)
 	if cfg.Telemetry != nil {
 		// Compile latency is wall-clock, so the family is volatile:
 		// rendered on the admin endpoint, excluded from deterministic
@@ -86,6 +99,24 @@ func NewForwarding(pr *Peering, rr *core.GeoRR, cfg ForwardingConfig) *Forwardin
 		h := cfg.Telemetry.Histogram("fib_compile_seconds", "FIB trie compile latency", telemetry.DefBuckets)
 		cfg.Telemetry.MarkVolatile("fib_compile_seconds")
 		compileObs = func(d time.Duration) { h.Observe(d.Seconds()) }
+		// The convergence span layer: each publisher flush reports the
+		// event ID its invalidation carried, closing the causal loop
+		// from routing-plane event to FIB compile.
+		f.conv = telemetry.NewConvergence(cfg.Telemetry, cfg.Tracer, cfg.ConvergenceClock)
+		conv := f.conv
+		// Compile durations are wall time (fib.FIB.CompileDuration); the
+		// stage families must stay on one clock. Without a wall
+		// ConvergenceClock the layer runs on the virtual clock, where a
+		// compile takes zero simulated time — record 0 so the observation
+		// counts stay pinnable and the sums deterministic.
+		wall := cfg.ConvergenceClock != nil
+		flushObs = func(event uint64, patches int, delta bool, d time.Duration) {
+			sec := 0.0
+			if wall {
+				sec = d.Seconds()
+			}
+			conv.ObserveCompileFor(event, sec)
+		}
 	}
 	for _, p := range pr.Net.PoPs {
 		vantage := p
@@ -93,6 +124,7 @@ func NewForwarding(pr *Peering, rr *core.GeoRR, cfg ForwardingConfig) *Forwardin
 			Resolve:         func(pfx netip.Prefix) (fib.NextHop, bool) { return f.resolveLocked(vantage, pfx) },
 			Debounce:        cfg.Debounce,
 			CompileObserver: compileObs,
+			FlushObserver:   flushObs,
 		})
 		f.pubs[p.ID] = pub
 		f.engines[p.ID] = fib.NewEngine(p.ID, pub, f)
@@ -145,8 +177,12 @@ func (f *Forwarding) Invalidate(prefix netip.Prefix) {
 // change event costs one publish — a copy-on-write delta when the
 // batch is small — rather than one per prefix.
 func (f *Forwarding) InvalidateBatch(prefixes []netip.Prefix) {
+	// Stamp each publisher with the in-flight convergence event, so the
+	// flushes this invalidation causes report their compiles back to it
+	// (fib.Config.FlushObserver) — the event ID's rib→fib crossing.
+	event := f.conv.ActiveID()
 	for _, id := range detsort.Keys(f.pubs) {
-		f.pubs[id].Invalidate(prefixes...)
+		f.pubs[id].InvalidateEvent(event, prefixes...)
 	}
 }
 
@@ -157,10 +193,17 @@ func (f *Forwarding) InvalidateBatch(prefixes []netip.Prefix) {
 // (the Publisher's no-spurious-churn fast path).
 func (f *Forwarding) InvalidateAll() {
 	u := f.universe()
+	event := f.conv.ActiveID()
 	for _, id := range detsort.Keys(f.pubs) {
-		f.pubs[id].Invalidate(u...)
+		f.pubs[id].InvalidateEvent(event, u...)
 	}
 }
+
+// Convergence returns the deployment's shared convergence span layer
+// (nil without telemetry). The reflector, failover controller, and
+// adaptive controller attach to this one instance so their events share
+// the ID space the publishers attribute compiles against.
+func (f *Forwarding) Convergence() *telemetry.Convergence { return f.conv }
 
 // Flush forces every pending recompile now (useful with a non-zero
 // debounce when a test or shutdown needs a consistent state).
@@ -293,6 +336,15 @@ func (f *Forwarding) Congruence(vantage *PoP) (match, total int) {
 		if fibOK && cpOK && nh.PoP == want.PoP {
 			match++
 		}
+	}
+	if f.tracer != nil {
+		// Each recheck leaves an instant span, so a convergence trace shows
+		// when (and how completely) the data plane was re-verified against
+		// the control plane after an event.
+		f.tracer.Event(f.tracer.StartTrace(), "convergence", "congruence_check",
+			telemetry.Int("pop", vantage.ID),
+			telemetry.Int("match", match),
+			telemetry.Int("total", total))
 	}
 	return match, total
 }
